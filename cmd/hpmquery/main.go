@@ -1,0 +1,117 @@
+// Command hpmquery trains a Hybrid Prediction Model over a CSV trajectory
+// and answers predictive queries from the command line.
+//
+// Usage:
+//
+//	hpmgen -dataset Car -out car.csv
+//	hpmquery -data car.csv -period 300 -stats
+//	hpmquery -data car.csv -period 300 -tc 59040 -tq 59100 -k 3
+//
+// The query's recent movements are the -recent samples of the trajectory
+// ending at -tc; the actual location at -tq (when the trajectory covers
+// it) is printed alongside for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpm"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "trajectory CSV file (t,x,y per row)")
+		period  = flag.Int("period", 300, "pattern period T (0 = auto-detect)")
+		train   = flag.Int("train", 0, "sub-trajectories to mine (0 = all)")
+		eps     = flag.Float64("eps", 0, "DBSCAN Eps (0 = paper default 30)")
+		minPts  = flag.Int("minpts", 0, "DBSCAN MinPts (0 = paper default 4)")
+		minConf = flag.Float64("minconf", 0, "minimum confidence (0 = paper default 0.3)")
+		distant = flag.Int("distant", 0, "distant-time threshold d (0 = paper default 60)")
+		tc      = flag.Int("tc", -1, "current time (absolute sample index)")
+		tq      = flag.Int("tq", -1, "query time (absolute sample index, > tc)")
+		k       = flag.Int("k", 1, "number of predictions")
+		recent  = flag.Int("recent", 10, "recent-movement window ending at tc")
+		stats   = flag.Bool("stats", false, "print model statistics and exit")
+	)
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "hpmquery: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := hpm.ReadTrajectoryCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *period <= 0 {
+		maxP := tr.Len() / 2
+		if maxP > 1000 {
+			maxP = 1000
+		}
+		detected, err := hpm.DetectPeriod(tr, 10, maxP)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("auto-detected period: %d\n", detected)
+		*period = detected
+	}
+
+	p, err := hpm.Train(tr, hpm.Config{
+		Period:           *period,
+		Eps:              *eps,
+		MinPts:           *minPts,
+		MinConfidence:    *minConf,
+		SubTrajectories:  *train,
+		DistantThreshold: *distant,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats || *tc < 0 || *tq < 0 {
+		fmt.Printf("samples:          %d (%d sub-trajectories of period %d)\n",
+			tr.Len(), tr.Len() / *period, *period)
+		fmt.Printf("frequent regions: %d\n", p.NumRegions())
+		fmt.Printf("patterns:         %d\n", p.NumPatterns())
+		fmt.Printf("index size:       %d KiB\n", p.IndexBytes()/1024)
+		fmt.Printf("world bounds:     %v\n", p.Bounds())
+		if *tc < 0 || *tq < 0 {
+			return
+		}
+	}
+
+	recentPts, err := tr.Recent(*tc, *recent)
+	if err != nil {
+		fatal(err)
+	}
+	preds, err := p.Predict(recentPts, *tq, *k)
+	if err != nil {
+		fatal(err)
+	}
+	if len(preds) == 0 {
+		fmt.Println("no prediction (no matching pattern and motion fallback disabled)")
+		return
+	}
+	for i, pr := range preds {
+		fmt.Printf("#%d %v  source=%v score=%.3f confidence=%.2f\n",
+			i+1, pr.Location, pr.Source, pr.Score, pr.Confidence)
+	}
+	if *tq < tr.Len() {
+		truth := tr.At(*tq)
+		fmt.Printf("actual: %v (top-1 error %.1f)\n", truth, preds[0].Location.Dist(truth))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpmquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command hpmserve runs the moving-objects prediction service: a JSON HTTP
+// API over a fleet of per-object Hybrid Prediction Models.
+//
+//	hpmserve -addr :8080 -period 300 -snapshot fleet.hpms
+//
+//	curl -XPOST localhost:8080/objects/bus-7/observe \
+//	     -d '{"points": [[120.5, 88.2], [121.0, 90.1]]}'
+//	curl 'localhost:8080/objects/bus-7/predict?horizon=30&k=3'
+//	curl 'localhost:8080/objects/bus-7/trajectory?from=900&to=950'
+//	curl  localhost:8080/objects
+//
+// With -snapshot, the fleet is restored from the file at startup (when it
+// exists) and written back on SIGINT/SIGTERM, so a restart does not
+// re-mine every object.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hpm"
+	"hpm/serve"
+	"hpm/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		period   = flag.Int("period", 300, "pattern period T (samples per day/cycle)")
+		minDays  = flag.Int("min-train", store.DefaultMinTrainPeriods, "periods before first training")
+		retrain  = flag.Int("retrain-every", 0, "full retrain after this many new periods (0 = extends only)")
+		eps      = flag.Float64("eps", 0, "DBSCAN Eps (0 = paper default 30)")
+		minPts   = flag.Int("minpts", 0, "DBSCAN MinPts (0 = paper default 4)")
+		distant  = flag.Int("distant", 0, "distant-time threshold d (0 = paper default 60)")
+		snapshot = flag.String("snapshot", "", "fleet snapshot file: restored at start, saved on shutdown")
+	)
+	flag.Parse()
+
+	st, err := openStore(*snapshot, store.Options{
+		Config: hpm.Config{
+			Period:           *period,
+			Eps:              *eps,
+			MinPts:           *minPts,
+			DistantThreshold: *distant,
+		},
+		MinTrainPeriods: *minDays,
+		RetrainEvery:    *retrain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.Handler(st)}
+	if *snapshot != "" {
+		go saveOnShutdown(srv, st, *snapshot)
+	}
+	fmt.Printf("hpmserve listening on %s (period %d, first train after %d periods)\n",
+		*addr, *period, *minDays)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+// openStore restores the fleet from the snapshot when one exists,
+// otherwise starts empty.
+func openStore(path string, opts store.Options) (*store.Store, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		switch {
+		case err == nil:
+			defer f.Close()
+			st, err := store.Load(f)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", path, err)
+			}
+			fmt.Printf("restored %d objects from %s\n", len(st.Objects()), path)
+			return st, nil
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	return store.New(opts)
+}
+
+// saveOnShutdown writes the snapshot when the process is interrupted, then
+// stops the server.
+func saveOnShutdown(srv *http.Server, st *store.Store, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err == nil {
+		if err = st.Save(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+	}
+	if err != nil {
+		log.Printf("hpmserve: snapshot save failed: %v", err)
+	} else {
+		fmt.Printf("\nsnapshot saved to %s\n", path)
+	}
+	srv.Close()
+}

@@ -1,0 +1,34 @@
+package hpm
+
+import (
+	"hpm/internal/datagen"
+)
+
+// Dataset identifies one of the paper's four synthetic evaluation datasets
+// (§VII): movement traces with pattern strength ordered
+// Bike > Cow > Car > Airplane.
+type Dataset = datagen.Kind
+
+// The four datasets.
+const (
+	DatasetBike     = datagen.Bike
+	DatasetCow      = datagen.Cow
+	DatasetCar      = datagen.Car
+	DatasetAirplane = datagen.Airplane
+)
+
+// DatasetSpec describes a synthetic dataset to generate.
+type DatasetSpec = datagen.Spec
+
+// DefaultDatasetSpec returns the paper-default spec for a dataset:
+// period 300, 200 sub-trajectories, extent [0,10000]².
+func DefaultDatasetSpec(k Dataset, seed int64) DatasetSpec {
+	return datagen.DefaultSpec(k, seed)
+}
+
+// GenerateDataset synthesizes a dataset trajectory: SubTrajectories
+// consecutive periods, each following the dataset's seed route with the
+// dataset's follow probability. Deterministic in the spec's Seed.
+func GenerateDataset(spec DatasetSpec) *Trajectory {
+	return datagen.Generate(spec)
+}

@@ -1,0 +1,79 @@
+package hpm_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"hpm"
+)
+
+// Train a model on a synthetic commuter dataset and ask where the object
+// will be a few samples ahead.
+func ExampleTrain() {
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 42)
+	spec.Period = 100
+	spec.SubTrajectories = 30
+	tr := hpm.GenerateDataset(spec)
+
+	p, err := hpm.Train(tr, hpm.Config{Period: 100, SubTrajectories: 25})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	now := tr.Len() - 50
+	recent, err := tr.Recent(now, 10)
+	if err != nil {
+		fmt.Println("recent:", err)
+		return
+	}
+	preds, err := p.Predict(recent, now+20, 1)
+	if err != nil {
+		fmt.Println("predict:", err)
+		return
+	}
+	fmt.Println(len(preds), preds[0].Source)
+	// Output: 1 pattern
+}
+
+// A trained predictor round-trips through its binary serialization.
+func ExamplePredictor_Save() {
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetCow, 7)
+	spec.Period = 60
+	spec.SubTrajectories = 10
+	tr := hpm.GenerateDataset(spec)
+	p, err := hpm.Train(tr, hpm.Config{Period: 60})
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	back, err := hpm.Load(&buf)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	fmt.Println(back.NumPatterns() == p.NumPatterns())
+	// Output: true
+}
+
+// Recover the pattern period from data when the behavioural cycle is
+// unknown.
+func ExampleDetectPeriod() {
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 3)
+	spec.Period = 75
+	spec.SubTrajectories = 10
+	tr := hpm.GenerateDataset(spec)
+
+	period, err := hpm.DetectPeriod(tr, 20, 200)
+	if err != nil {
+		fmt.Println("detect:", err)
+		return
+	}
+	fmt.Println(period)
+	// Output: 75
+}

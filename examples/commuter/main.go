@@ -1,0 +1,141 @@
+// Commuter reproduces the paper's motivating scenario (§I and Fig. 3):
+// Jane leaves home every morning; on weekdays she passes the city and ends
+// at work, on weekends she passes the shopping center and ends at the
+// beach. A query that only extrapolates her recent velocity cannot know
+// which — her trajectory patterns can.
+//
+// The program trains on several weeks of movement, then answers three
+// queries: a weekday mid-commute (the pattern disambiguates toward work), a
+// weekend mid-commute (toward the beach), and a distant-time query hours
+// ahead, where Backward Query Processing answers from where Jane usually
+// is at that time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hpm"
+)
+
+// landmark positions (extent 0..10000).
+var (
+	home  = hpm.Pt(1000, 1000)
+	city  = hpm.Pt(3500, 4000)
+	shop  = hpm.Pt(5000, 1500)
+	work  = hpm.Pt(8000, 8000)
+	beach = hpm.Pt(9000, 2000)
+)
+
+const (
+	period = 96 // one sample per 15 minutes
+	weeks  = 8
+)
+
+// day synthesizes one day through the given waypoints with dwell segments.
+func day(rng *rand.Rand, waypoints []hpm.Point, noise float64) []hpm.Point {
+	// Segment the day evenly across the waypoint legs, with a dwell at
+	// the final destination in the afternoon and a return home at night.
+	full := append(append([]hpm.Point{}, waypoints...), waypoints[0])
+	legs := len(full) - 1
+	pts := make([]hpm.Point, 0, period)
+	for leg := 0; leg < legs; leg++ {
+		steps := period / legs
+		if leg == legs-1 {
+			steps = period - len(pts)
+		}
+		for s := 0; s < steps; s++ {
+			t := float64(s) / float64(steps)
+			// Hold at the waypoint for the first third of each leg
+			// (Jane works, shops, swims...), then travel.
+			travel := 0.0
+			if t > 0.33 {
+				travel = (t - 0.33) / 0.67
+			}
+			p := full[leg].Lerp(full[leg+1], travel)
+			pts = append(pts, hpm.Pt(p.X+rng.NormFloat64()*noise, p.Y+rng.NormFloat64()*noise))
+		}
+	}
+	return pts[:period]
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	var points []hpm.Point
+	for w := 0; w < weeks; w++ {
+		for d := 0; d < 7; d++ {
+			route := []hpm.Point{home, city, work}
+			if d >= 5 { // weekend
+				route = []hpm.Point{home, shop, beach}
+			}
+			points = append(points, day(rng, route, 25)...)
+		}
+	}
+	tr := hpm.NewTrajectory(points)
+
+	predictor, err := hpm.Train(tr, hpm.Config{
+		Period:           period,
+		Eps:              120, // 15-minute sampling spreads positions wider than GPS noise
+		MinPts:           4,
+		DistantThreshold: 24, // six hours ahead counts as distant
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d weeks: %d regions, %d patterns\n\n",
+		weeks, predictor.NumRegions(), predictor.NumPatterns())
+
+	classify := func(p hpm.Point) string {
+		best, name := p.Dist(work), "work"
+		for _, c := range []struct {
+			n   string
+			loc hpm.Point
+		}{{"beach", beach}, {"city", city}, {"shop", shop}, {"home", home}} {
+			if d := p.Dist(c.loc); d < best {
+				best, name = d, c.n
+			}
+		}
+		return name
+	}
+
+	// Three fresh days continue after the history (timestamps keep
+	// counting; days repeat modulo the period).
+	weekdayStart := len(points) // a Monday
+	ask := func(label string, route []hpm.Point, base, tc, tq int) {
+		dayPts := day(rng, route, 25)
+		var recent []hpm.TimedPoint
+		for off := tc - 5; off <= tc; off++ {
+			recent = append(recent, hpm.TimedPoint{T: base + off, Loc: dayPts[off]})
+		}
+		preds, err := predictor.Predict(recent, base+tq, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (now offset %d, asking offset %d):\n", label, tc, tq)
+		for _, p := range preds {
+			fmt.Printf("  %-8v near %-6s score %.3f at %v\n",
+				p.Source, classify(p.Location), p.Score, p.Location)
+		}
+		// Why? Unpack the winning rule.
+		if ex, ok := predictor.Explain(preds[0]); ok {
+			fmt.Printf("  because %s (seen on %d days)\n", ex.Rule, ex.Support)
+		}
+		fmt.Println()
+	}
+
+	// Mid-morning on a weekday, mid-commute past the city; where at the
+	// end of the commute? The City premise disambiguates toward work.
+	ask("weekday commute", []hpm.Point{home, city, work}, weekdayStart, 40, 60)
+
+	// Same clock time on a weekend, passing the shopping center instead:
+	// the same question now resolves toward the beach.
+	weekendStart := weekdayStart + 5*period
+	ask("weekend outing", []hpm.Point{home, shop, beach}, weekendStart, 40, 60)
+
+	// Distant-time query: it is early morning; where will Jane be this
+	// evening? Recent movements barely matter — BQP answers from where
+	// she usually is at that hour.
+	ask("distant evening query", []hpm.Point{home, city, work}, weekdayStart+7*period, 10, 60)
+}

@@ -1,0 +1,74 @@
+// Quickstart: train a Hybrid Prediction Model on a synthetic commuter
+// trajectory and ask where the object will be a few minutes — and a few
+// hours — from now.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hpm"
+)
+
+func main() {
+	// Build 30 "days" of movement, 100 samples each: the object commutes
+	// along the same route every day with a little GPS noise.
+	const period = 100
+	const days = 30
+	rng := rand.New(rand.NewSource(42))
+
+	route := make([]hpm.Point, period)
+	for t := range route {
+		// A simple out-and-back: away in the morning, home at night.
+		progress := float64(t) / float64(period)
+		route[t] = hpm.Pt(1000+8000*bump(progress), 1000+4000*bump(progress*1.3))
+	}
+	var points []hpm.Point
+	for d := 0; d < days; d++ {
+		for _, p := range route {
+			points = append(points, hpm.Pt(p.X+rng.NormFloat64()*15, p.Y+rng.NormFloat64()*15))
+		}
+	}
+
+	// Train: Period is the only required knob; everything else follows
+	// the paper's defaults (DBSCAN Eps 30 / MinPts 4, min confidence 0.3,
+	// distant threshold 60, RMF fallback).
+	predictor, err := hpm.TrainPoints(points, hpm.Config{Period: period})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: %d frequent regions, %d trajectory patterns, index %d KiB\n",
+		predictor.NumRegions(), predictor.NumPatterns(), predictor.IndexBytes()/1024)
+
+	// The object is moving through a fresh day (timestamps continue
+	// after the training data). Give the predictor its last 10 positions.
+	now := len(points) - period + 20 // 20 samples into the newest day
+	tr := hpm.NewTrajectory(points)
+	recent, err := tr.Recent(now, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, horizon := range []int{5, 30, 70} {
+		preds, err := predictor.Predict(recent, now+horizon, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(preds) == 0 {
+			fmt.Printf("t+%-3d  no prediction\n", horizon)
+			continue
+		}
+		p := preds[0]
+		fmt.Printf("t+%-3d  %-8v -> %v (score %.3f)\n", horizon, p.Source, p.Location, p.Score)
+	}
+}
+
+// bump maps [0,1] to a smooth out-and-back profile in [0,1].
+func bump(x float64) float64 {
+	x = x - float64(int(x))
+	if x < 0.5 {
+		return 2 * x
+	}
+	return 2 * (1 - x)
+}

@@ -1,0 +1,3 @@
+module hpm
+
+go 1.22

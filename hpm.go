@@ -1,0 +1,309 @@
+// Package hpm is a Go implementation of the Hybrid Prediction Model for
+// moving objects (Jeung, Liu, Shen, Zhou — ICDE 2008).
+//
+// Given an object's movement history sampled at regular timestamps, hpm
+// mines the object's periodic trajectory patterns (dense frequent regions
+// per time-of-period offset, linked into association rules), indexes them
+// in a Trajectory Pattern Tree, and answers predictive queries — "where
+// will the object be at time tq?" — by combining the patterns with a
+// Recursive Motion Function fitted to the object's recent movements:
+//
+//   - Near-future queries use Forward Query Processing: patterns whose
+//     premise matches the recently visited regions and whose consequence
+//     offset equals the query offset, ranked by premise similarity ×
+//     confidence.
+//   - Distant-future queries use Backward Query Processing: the premise
+//     constraint is relaxed and patterns around the query time win,
+//     because where the object usually is at 4 p.m. beats extrapolating
+//     this morning's velocity.
+//   - When no pattern qualifies, the motion function answers.
+//
+// # Quick start
+//
+//	tr := hpm.NewTrajectory(points)          // one location per timestamp
+//	p, err := hpm.Train(tr, hpm.Config{Period: 300})
+//	preds, err := p.Predict(recent, tq, 1)   // recent: last few TimedPoints
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package hpm
+
+import (
+	"fmt"
+	"io"
+
+	"hpm/internal/core"
+	"hpm/internal/geom"
+	"hpm/internal/hpa"
+	"hpm/internal/motion"
+	"hpm/internal/pattern"
+	"hpm/internal/trajectory"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle, used for world bounds.
+type Rect = geom.Rect
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Trajectory is a movement history with one location per integer timestamp.
+type Trajectory = trajectory.Trajectory
+
+// TimedPoint is a location stamped with its absolute timestamp; queries
+// supply the object's recent movements in this form.
+type TimedPoint = trajectory.TimedPoint
+
+// NewTrajectory wraps a location slice (one point per timestamp, starting
+// at timestamp 0) as a Trajectory.
+func NewTrajectory(points []Point) *Trajectory { return trajectory.New(points) }
+
+// ReadTrajectoryCSV parses "t,x,y" rows into a Trajectory.
+func ReadTrajectoryCSV(r io.Reader) (*Trajectory, error) { return trajectory.ReadCSV(r) }
+
+// DetectPeriod estimates the pattern period T — the library's one required
+// parameter — from the data itself, by scoring how well positions align
+// with themselves at each candidate lag in [minPeriod, maxPeriod]. The
+// trajectory must cover at least two maxPeriod cycles. Objects that repeat
+// only some of the time (the paper's follow probability) are handled by
+// scoring the best-aligned quartile of samples.
+func DetectPeriod(tr *Trajectory, minPeriod, maxPeriod int) (int, error) {
+	return trajectory.DetectPeriod(tr, minPeriod, maxPeriod)
+}
+
+// Prediction is one predicted location with its provenance: the ranking
+// score Sp, the pattern confidence, and whether a trajectory pattern or the
+// motion-function fallback produced it.
+type Prediction = hpa.Prediction
+
+// Source tells how a prediction was produced.
+type Source = hpa.Source
+
+// Prediction sources.
+const (
+	SourcePattern = hpa.SourcePattern
+	SourceMotion  = hpa.SourceMotion
+)
+
+// WeightFunc selects the premise-similarity weight function of §VI-A.
+type WeightFunc = hpa.WeightFunc
+
+// The four weight functions; the paper found linear and quadratic best.
+const (
+	WeightLinear      = hpa.WeightLinear
+	WeightQuadratic   = hpa.WeightQuadratic
+	WeightExponential = hpa.WeightExponential
+	WeightFactorial   = hpa.WeightFactorial
+)
+
+// MotionKind selects the motion-function fallback model.
+type MotionKind = core.MotionKind
+
+// Available fallbacks.
+const (
+	MotionRMF        = core.MotionRMF
+	MotionLinear     = core.MotionLinear
+	MotionPolynomial = core.MotionPolynomial
+	MotionNone       = core.MotionNone
+)
+
+// Config configures training and querying. Only Period is required; every
+// other zero value takes the paper's experimental default (§VII-A):
+// Eps 30, MinPts 4, minimum confidence 0.3, distant threshold d = 60,
+// time relaxation tε = 2, linear weights, RMF fallback.
+type Config struct {
+	// Period is T, the number of timestamps after which patterns may
+	// re-appear — "a day" of samples for commuter traffic, "a year" for
+	// migration. Required.
+	Period int
+
+	// Eps and MinPts control DBSCAN frequent-region detection; they play
+	// the role of the support threshold in frequent-itemset mining.
+	Eps    float64
+	MinPts int
+
+	// MinSupport is the minimum number of sub-trajectories exhibiting a
+	// pattern; MinConfidence is the association-rule confidence floor.
+	MinSupport    int
+	MinConfidence float64
+
+	// MaxPatternLength caps regions per pattern (consequence included);
+	// PremiseSpan caps the offset distance covered by a premise; and
+	// ConsequenceReach caps how far beyond a multi-region premise its
+	// consequence may lie (negative = unlimited). All three bound the
+	// Apriori search.
+	MaxPatternLength int
+	PremiseSpan      int
+	ConsequenceReach int
+
+	// CountUnprunedRules additionally counts the rules classic Apriori
+	// would generate, enabling PatternReduction at extra training cost.
+	CountUnprunedRules bool
+
+	// SubTrajectories caps how many leading periods are mined; <= 0 uses
+	// the whole history.
+	SubTrajectories int
+
+	// DistantThreshold is d: queries at least this far ahead of the
+	// current time use Backward Query Processing. TimeRelaxation is tε,
+	// BQP's base window radius. Weight selects the premise weighting.
+	DistantThreshold int
+	TimeRelaxation   int
+	Weight           WeightFunc
+
+	// Motion selects the fallback predictor; Retrospect and MotionWindow
+	// configure the RMF (recurrence depth f and fitting window).
+	Motion       MotionKind
+	Retrospect   int
+	MotionWindow int
+
+	// Bounds clamps motion-function output; nil derives bounds from the
+	// training data with a 10% margin.
+	Bounds *Rect
+}
+
+func (c Config) toParams() core.Params {
+	return core.Params{
+		Period: c.Period,
+		Eps:    c.Eps,
+		MinPts: c.MinPts,
+		Mining: pattern.Config{
+			MinSupport:       c.MinSupport,
+			MinConfidence:    c.MinConfidence,
+			MaxLength:        c.MaxPatternLength,
+			PremiseSpan:      c.PremiseSpan,
+			CountUnpruned:    c.CountUnprunedRules,
+			ConsequenceReach: c.ConsequenceReach,
+		},
+		SubTrajectories:  c.SubTrajectories,
+		DistantThreshold: c.DistantThreshold,
+		TimeRelaxation:   c.TimeRelaxation,
+		Weight:           c.Weight,
+		Motion:           c.Motion,
+		RMF: motion.RMFConfig{
+			Retrospect: c.Retrospect,
+			Window:     c.MotionWindow,
+			Bounds:     c.Bounds,
+		},
+		Bounds: c.Bounds,
+	}
+}
+
+// Predictor is a trained Hybrid Prediction Model.
+type Predictor struct {
+	model *core.Model
+}
+
+// Train mines the trajectory's patterns and builds a ready predictor. The
+// trajectory must span at least one full period.
+func Train(tr *Trajectory, cfg Config) (*Predictor, error) {
+	m, err := core.Train(tr, cfg.toParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{model: m}, nil
+}
+
+// TrainPoints is Train over a raw location slice.
+func TrainPoints(points []Point, cfg Config) (*Predictor, error) {
+	return Train(NewTrajectory(points), cfg)
+}
+
+// Predict estimates the object's location at absolute time tq from its
+// recent movements, returning up to k predictions ranked by probability.
+// A prediction's Source tells whether a trajectory pattern or the motion
+// function produced it.
+func (p *Predictor) Predict(recent []TimedPoint, tq, k int) ([]Prediction, error) {
+	return p.model.Predict(recent, tq, k)
+}
+
+// ExtendResult reports what an incremental Extend changed.
+type ExtendResult = core.ExtendResult
+
+// Extend absorbs newly accumulated movement without retraining (§V-B
+// dynamic data): points must cover whole periods (len divisible by
+// Period); the new days are assigned to the existing frequent regions and
+// any newly qualifying patterns are inserted into the live index. Regions
+// and key tables stay fixed until a full Train.
+func (p *Predictor) Extend(points []Point) (ExtendResult, error) {
+	period := p.model.Params().Period
+	tr := NewTrajectory(points)
+	if tr.Len() == 0 || tr.Len()%period != 0 {
+		return ExtendResult{}, fmt.Errorf("hpm: Extend needs whole periods: %d points, period %d", tr.Len(), period)
+	}
+	subs, err := tr.Decompose(period)
+	if err != nil {
+		return ExtendResult{}, err
+	}
+	return p.model.Extend(subs)
+}
+
+// PredictRange estimates the object's whole future trajectory over the
+// timestamp range [from, to] (inclusive), one prediction per timestamp.
+// Near timestamps use Forward Query Processing, distant ones Backward
+// Query Processing, and the motion function fills gaps — fitted once for
+// the whole range.
+func (p *Predictor) PredictRange(recent []TimedPoint, from, to int) ([]Prediction, error) {
+	return p.model.PredictRange(recent, from, to)
+}
+
+// Save serializes the trained predictor to a versioned binary stream:
+// parameters, world bounds, the frequent-region table (with visitor
+// bitmaps, so Extend keeps working after a reload) and the pattern list.
+// The index is rebuilt on Load.
+func (p *Predictor) Save(w io.Writer) error { return p.model.Save(w) }
+
+// Load deserializes a predictor written by Save and rebuilds its index.
+func Load(r io.Reader) (*Predictor, error) {
+	m, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{model: m}, nil
+}
+
+// Explanation unpacks the trajectory pattern behind a prediction.
+type Explanation = core.Explanation
+
+// RegionInfo describes one frequent region in an Explanation.
+type RegionInfo = core.RegionInfo
+
+// Explain returns the rule behind a pattern prediction — the frequent
+// regions its premise expects, the consequence region, and the confidence.
+// The boolean is false for motion-function predictions.
+func (p *Predictor) Explain(pred Prediction) (Explanation, bool) {
+	return p.model.Explain(pred)
+}
+
+// QueryStats counts what the predictor did: queries answered, by which
+// query processor (forward, backward, motion fallback), and index nodes
+// touched.
+type QueryStats = hpa.QueryStats
+
+// QueryStats returns the accumulated query counters.
+func (p *Predictor) QueryStats() QueryStats { return p.model.QueryStats() }
+
+// NumPatterns returns how many trajectory patterns were mined.
+func (p *Predictor) NumPatterns() int { return p.model.NumPatterns() }
+
+// NumRegions returns how many frequent regions were discovered.
+func (p *Predictor) NumRegions() int { return p.model.NumRegions() }
+
+// PatternReduction returns the percentage of rules eliminated by the
+// pruning (requires Config.CountUnprunedRules; 0 otherwise) relative to
+// classic Apriori rule generation.
+func (p *Predictor) PatternReduction() float64 {
+	return p.model.MiningStats().ReductionPct()
+}
+
+// IndexBytes returns the packed storage footprint of the Trajectory
+// Pattern Tree.
+func (p *Predictor) IndexBytes() int { return p.model.TreeStats().StorageBytes }
+
+// Bounds returns the world extent motion-function output is clamped to.
+func (p *Predictor) Bounds() Rect { return p.model.Bounds() }
+
+// Model exposes the underlying core model for advanced use (region tables,
+// pattern inspection, the raw query engine).
+func (p *Predictor) Model() *core.Model { return p.model }

@@ -1,0 +1,56 @@
+package bitkey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the pattern-key operations the TPT executes on
+// every node visit (paper §V-A).
+
+func benchKeys(n int) (Key, Key) {
+	r := rand.New(rand.NewSource(1))
+	return randomKey(r, n), randomKey(r, n)
+}
+
+func BenchmarkIntersects800(b *testing.B) {
+	x, y := benchKeys(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersects(y)
+	}
+}
+
+func BenchmarkContains800(b *testing.B) {
+	x, y := benchKeys(800)
+	u := x.Or(y) // guarantee containment so the loop never exits early
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.Contains(x)
+	}
+}
+
+func BenchmarkDifference800(b *testing.B) {
+	x, y := benchKeys(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Difference(y)
+	}
+}
+
+func BenchmarkUnionInPlace800(b *testing.B) {
+	x, y := benchKeys(800)
+	dst := x.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.OrInPlace(y)
+	}
+}
+
+func BenchmarkOnes800(b *testing.B) {
+	x, _ := benchKeys(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Ones()
+	}
+}

@@ -1,0 +1,44 @@
+package bitkey
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that accepted inputs
+// round-trip exactly through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "00011", "10101", "0100001", "2", "01x", "1111111111111111111111111111111111111111111111111111111111111111111"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if got := k.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	})
+}
+
+// FuzzUnmarshalBinary checks the binary decoder never panics and that
+// every accepted payload re-encodes to itself.
+func FuzzUnmarshalBinary(f *testing.F) {
+	for _, seed := range []Key{New(0), MustParse("10101"), FromPositions(130, 1, 64, 65, 130)} {
+		b, _ := seed.MarshalBinary()
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var k Key
+		if err := k.UnmarshalBinary(data); err != nil {
+			return
+		}
+		back, err := k.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if string(back) != string(data) {
+			t.Fatalf("decode/encode not idempotent: %x vs %x", back, data)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package cluster implements DBSCAN (Ester, Kriegel, Sander, Xu, KDD 1996),
+// the density-based clustering algorithm the paper uses to detect frequent
+// regions inside each time-offset group G_t. The Eps and MinPts parameters
+// "play the same role as support of mining frequent item sets" (§IV): a
+// cluster exists only where the object appeared densely often.
+//
+// Neighborhood queries run against a uniform grid with cell side Eps, so a
+// point's Eps-neighbors are confined to its 3x3 cell block; a brute-force
+// scan is kept as the reference oracle for equivalence tests.
+package cluster
+
+import (
+	"fmt"
+
+	"hpm/internal/geom"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Result holds a clustering of the input points.
+type Result struct {
+	// Labels[i] is the cluster id of point i, in [0, NumClusters), or Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// Members returns the indices of the points labeled with cluster id c.
+func (r Result) Members(c int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DBSCAN clusters points with radius eps and density threshold minPts.
+// A point is a core point when at least minPts points (itself included) lie
+// within distance eps; clusters are the connected components of core points
+// plus their border points. It panics on invalid parameters because the
+// mining pipeline validates them once up front.
+func DBSCAN(points []geom.Point, eps float64, minPts int) Result {
+	if eps <= 0 {
+		panic(fmt.Sprintf("cluster: eps must be positive, got %v", eps))
+	}
+	if minPts < 1 {
+		panic(fmt.Sprintf("cluster: minPts must be >= 1, got %d", minPts))
+	}
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return Result{Labels: labels}
+	}
+
+	g := newGrid(points, eps)
+	visited := make([]bool, n)
+	nextCluster := 0
+	var neighbors, frontier []int
+
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neighbors = g.rangeQuery(points, i, eps, neighbors[:0])
+		if len(neighbors) < minPts {
+			continue // stays noise unless later absorbed as a border point
+		}
+		// Start a new cluster and expand it breadth-first from i.
+		c := nextCluster
+		nextCluster++
+		labels[i] = c
+		frontier = append(frontier[:0], neighbors...)
+		for len(frontier) > 0 {
+			j := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			if labels[j] == Noise {
+				labels[j] = c // border or core point absorbed into c
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			nb := g.rangeQuery(points, j, eps, nil)
+			if len(nb) >= minPts {
+				// j is core: its neighborhood continues the expansion.
+				frontier = append(frontier, nb...)
+			}
+		}
+	}
+	return Result{Labels: labels, NumClusters: nextCluster}
+}
+
+// grid is a uniform hash grid with cell side = eps, so all eps-neighbors of
+// a point are inside the surrounding 3x3 cell block.
+type grid struct {
+	cell  float64
+	cells map[cellKey][]int
+}
+
+type cellKey struct{ cx, cy int }
+
+func newGrid(points []geom.Point, eps float64) *grid {
+	g := &grid{cell: eps, cells: make(map[cellKey][]int, len(points)/2+1)}
+	for i, p := range points {
+		k := g.keyOf(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *grid) keyOf(p geom.Point) cellKey {
+	return cellKey{cx: int(floorDiv(p.X, g.cell)), cy: int(floorDiv(p.Y, g.cell))}
+}
+
+func floorDiv(v, cell float64) float64 {
+	q := v / cell
+	f := float64(int(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// rangeQuery appends to dst the indices of all points within eps of
+// points[i] (including i itself) and returns the extended slice.
+func (g *grid) rangeQuery(points []geom.Point, i int, eps float64, dst []int) []int {
+	p := points[i]
+	k := g.keyOf(p)
+	eps2 := eps * eps
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, j := range g.cells[cellKey{k.cx + dx, k.cy + dy}] {
+				if points[j].Dist2(p) <= eps2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// BruteForceNeighbors returns the indices of all points within eps of
+// points[i] by linear scan. It is the reference oracle the grid index is
+// tested against and the baseline for index micro-benchmarks.
+func BruteForceNeighbors(points []geom.Point, i int, eps float64) []int {
+	var out []int
+	eps2 := eps * eps
+	for j, q := range points {
+		if q.Dist2(points[i]) <= eps2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}

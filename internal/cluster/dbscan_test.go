@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hpm/internal/geom"
+)
+
+// blob generates n points normally distributed around center.
+func blob(r *rand.Rand, center geom.Point, sigma float64, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(center.X+r.NormFloat64()*sigma, center.Y+r.NormFloat64()*sigma)
+	}
+	return pts
+}
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := append(blob(r, geom.Pt(0, 0), 1, 40), blob(r, geom.Pt(100, 100), 1, 40)...)
+	res := DBSCAN(pts, 5, 4)
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	// All points of the same blob must share a label, and the blobs differ.
+	first, second := res.Labels[0], res.Labels[40]
+	if first == Noise || second == Noise || first == second {
+		t.Fatalf("labels %d, %d unexpected", first, second)
+	}
+	for i := 0; i < 40; i++ {
+		if res.Labels[i] != first {
+			t.Errorf("blob A point %d labeled %d, want %d", i, res.Labels[i], first)
+		}
+		if res.Labels[40+i] != second {
+			t.Errorf("blob B point %d labeled %d, want %d", i, res.Labels[40+i], second)
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := blob(r, geom.Pt(0, 0), 1, 30)
+	pts = append(pts, geom.Pt(500, 500)) // isolated outlier
+	res := DBSCAN(pts, 5, 4)
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	if res.Labels[30] != Noise {
+		t.Errorf("outlier labeled %d, want Noise", res.Labels[30])
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Far-apart points with minPts 3: nothing clusters.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(0, 100)}
+	res := DBSCAN(pts, 1, 3)
+	if res.NumClusters != 0 {
+		t.Fatalf("NumClusters = %d, want 0", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != Noise {
+			t.Errorf("point %d labeled %d, want Noise", i, l)
+		}
+	}
+}
+
+func TestDBSCANMinPtsOne(t *testing.T) {
+	// With minPts 1 every point is a core point of its own cluster.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(0, 100)}
+	res := DBSCAN(pts, 1, 1)
+	if res.NumClusters != 3 {
+		t.Fatalf("NumClusters = %d, want 3", res.NumClusters)
+	}
+}
+
+func TestDBSCANChainConnectivity(t *testing.T) {
+	// A chain of points spaced 1 apart with eps 1.5 forms one cluster.
+	var pts []geom.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.Pt(float64(i), 0))
+	}
+	res := DBSCAN(pts, 1.5, 3)
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Errorf("chain point %d labeled %d", i, l)
+		}
+	}
+}
+
+func TestDBSCANBorderPointAbsorbed(t *testing.T) {
+	// Dense core at origin plus one point just inside eps of the core but
+	// with too few neighbors of its own: a classic border point.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(0.1, 0), geom.Pt(0, 0.1), geom.Pt(0.1, 0.1),
+		geom.Pt(0.9, 0), // border: within eps=1 of the core points
+	}
+	res := DBSCAN(pts, 1, 4)
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	if res.Labels[4] != 0 {
+		t.Errorf("border point labeled %d, want 0", res.Labels[4])
+	}
+}
+
+func TestDBSCANEmpty(t *testing.T) {
+	res := DBSCAN(nil, 1, 3)
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty input: %+v", res)
+	}
+}
+
+func TestDBSCANPanics(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0)}
+	for _, f := range []func(){
+		func() { DBSCAN(pts, 0, 3) },
+		func() { DBSCAN(pts, -1, 3) },
+		func() { DBSCAN(pts, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid parameters did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMembers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := append(blob(r, geom.Pt(0, 0), 1, 10), blob(r, geom.Pt(50, 50), 1, 12)...)
+	res := DBSCAN(pts, 5, 3)
+	total := 0
+	for c := 0; c < res.NumClusters; c++ {
+		total += len(res.Members(c))
+	}
+	noise := len(res.Members(Noise))
+	if total+noise != len(pts) {
+		t.Errorf("members %d + noise %d != %d points", total, noise, len(pts))
+	}
+}
+
+// Property: grid-accelerated neighborhoods equal brute force exactly.
+func TestGridMatchesBruteForceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			// Mix of negative and positive coordinates exercises the
+			// floor-division cell hashing.
+			pts[i] = geom.Pt(r.Float64()*200-100, r.Float64()*200-100)
+		}
+		eps := 1 + r.Float64()*20
+		g := newGrid(pts, eps)
+		for i := 0; i < n; i++ {
+			got := g.rangeQuery(pts, i, eps, nil)
+			want := BruteForceNeighbors(pts, i, eps)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d point %d: grid %d neighbors, brute %d", trial, i, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d point %d: neighbor sets differ", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// Property: DBSCAN invariants on random data — every core point is
+// clustered, labels are dense in [0, NumClusters), and any two points
+// within eps where both are core share a cluster.
+func TestDBSCANInvariantsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + r.Intn(150)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+		}
+		eps := 3 + r.Float64()*5
+		minPts := 2 + r.Intn(4)
+		res := DBSCAN(pts, eps, minPts)
+
+		seen := make(map[int]bool)
+		for i := range pts {
+			nb := BruteForceNeighbors(pts, i, eps)
+			core := len(nb) >= minPts
+			if core && res.Labels[i] == Noise {
+				t.Fatalf("trial %d: core point %d labeled noise", trial, i)
+			}
+			if res.Labels[i] != Noise {
+				seen[res.Labels[i]] = true
+				if res.Labels[i] < 0 || res.Labels[i] >= res.NumClusters {
+					t.Fatalf("trial %d: label %d out of range", trial, res.Labels[i])
+				}
+			}
+			// Density connectivity: a core point's eps-neighbors may never
+			// stay noise, and two mutually-reachable core points must share
+			// a cluster. (A border point between two clusters may join
+			// either, so only core neighbors get the equality check.)
+			if core {
+				for _, j := range nb {
+					if res.Labels[j] == Noise {
+						t.Fatalf("trial %d: neighbor %d of core %d left as noise", trial, j, i)
+					}
+					if len(BruteForceNeighbors(pts, j, eps)) >= minPts && res.Labels[j] != res.Labels[i] {
+						t.Fatalf("trial %d: core neighbor %d of core %d in cluster %d, want %d",
+							trial, j, i, res.Labels[j], res.Labels[i])
+					}
+				}
+			}
+		}
+		if len(seen) != res.NumClusters {
+			t.Fatalf("trial %d: %d distinct labels, NumClusters %d", trial, len(seen), res.NumClusters)
+		}
+	}
+}
+
+func BenchmarkDBSCANGrid1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var pts []geom.Point
+	for c := 0; c < 10; c++ {
+		pts = append(pts, blob(r, geom.Pt(r.Float64()*1000, r.Float64()*1000), 10, 100)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DBSCAN(pts, 15, 4)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"hpm/internal/geom"
+	"hpm/internal/hpa"
+	"hpm/internal/pattern"
+)
+
+// Model persistence: a trained model round-trips through a versioned
+// binary stream so deployments can mine once and serve from a saved file.
+// The stream holds the training parameters (JSON), the world bounds, the
+// region table with visitor bitmaps (so incremental Extend keeps working
+// after a reload), and the pattern list; the TPT is rebuilt by bulk load,
+// which is faster to reconstruct than to serialize.
+
+const (
+	modelMagic   = "HPMM"
+	modelVersion = 1
+	modelTrailer = "HPME"
+)
+
+// Save serializes the model.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(modelVersion); err != nil {
+		return err
+	}
+	// Parameters as JSON: forward-compatible and human-inspectable.
+	pj, err := json.Marshal(m.params)
+	if err != nil {
+		return fmt.Errorf("core: encode params: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	if _, err := bw.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(pj)))]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(pj); err != nil {
+		return err
+	}
+	for _, v := range []float64{m.bounds.Min.X, m.bounds.Min.Y, m.bounds.Max.X, m.bounds.Max.Y} {
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(v))
+		if _, err := bw.Write(fb[:]); err != nil {
+			return err
+		}
+	}
+	if err := m.regions.WriteBinary(bw); err != nil {
+		return err
+	}
+	if err := pattern.WritePatterns(bw, m.patterns); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(modelTrailer); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a model written by Save and rebuilds its index and
+// query engine.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(modelMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("core: read header: %w", err)
+	}
+	if string(head[:len(modelMagic)]) != modelMagic {
+		return nil, fmt.Errorf("core: not a model stream (magic %q)", head[:len(modelMagic)])
+	}
+	if head[len(modelMagic)] != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", head[len(modelMagic)])
+	}
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: read params length: %w", err)
+	}
+	if plen > 1<<20 {
+		return nil, fmt.Errorf("core: implausible params length %d", plen)
+	}
+	pj := make([]byte, plen)
+	if _, err := io.ReadFull(br, pj); err != nil {
+		return nil, fmt.Errorf("core: read params: %w", err)
+	}
+	var params Params
+	if err := json.Unmarshal(pj, &params); err != nil {
+		return nil, fmt.Errorf("core: decode params: %w", err)
+	}
+	var bf [32]byte
+	if _, err := io.ReadFull(br, bf[:]); err != nil {
+		return nil, fmt.Errorf("core: read bounds: %w", err)
+	}
+	bounds := geom.Rect{
+		Min: geom.Pt(math.Float64frombits(binary.LittleEndian.Uint64(bf[0:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(bf[8:]))),
+		Max: geom.Pt(math.Float64frombits(binary.LittleEndian.Uint64(bf[16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(bf[24:]))),
+	}
+	regions, err := pattern.ReadRegionTable(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: read regions: %w", err)
+	}
+	patterns, err := pattern.ReadPatterns(br, regions)
+	if err != nil {
+		return nil, fmt.Errorf("core: read patterns: %w", err)
+	}
+	trailer := make([]byte, len(modelTrailer))
+	if _, err := io.ReadFull(br, trailer); err != nil {
+		return nil, fmt.Errorf("core: read trailer: %w", err)
+	}
+	if string(trailer) != modelTrailer {
+		return nil, fmt.Errorf("core: corrupt stream trailer %q", trailer)
+	}
+	return assemble(params, regions, patterns, bounds)
+}
+
+// assemble builds a query-ready model from its persistent parts; shared by
+// Load and (logically) the tail of TrainSubTrajectories.
+func assemble(params Params, regions *pattern.RegionTable, patterns []pattern.Pattern, bounds geom.Rect) (*Model, error) {
+	ct := pattern.NewConsequenceTable(regions, patterns)
+	enc := pattern.NewEncoder(regions, ct)
+	engine, err := hpa.NewEngine(enc, patterns, hpa.Config{
+		Period:           params.Period,
+		DistantThreshold: params.DistantThreshold,
+		TimeRelaxation:   params.TimeRelaxation,
+		Weight:           params.Weight,
+		PenalizePremise:  !params.DisablePremisePenalty,
+		NewMotion:        motionFactory(params, &bounds),
+	}, params.Tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		params:   params,
+		regions:  regions,
+		patterns: patterns,
+		encoder:  enc,
+		engine:   engine,
+		bounds:   bounds,
+		stats:    pattern.Stats{Rules: len(patterns)},
+	}, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpm/internal/core"
+	"hpm/internal/geom"
+	"hpm/internal/hpa"
+	"hpm/internal/motion"
+	"hpm/internal/pattern"
+)
+
+func init() {
+	register("fig5", "Figure 5: average error vs prediction length, HPM vs RMF, four datasets", fig5)
+	register("fig6", "Figure 6: average error vs number of training sub-trajectories (prediction length 50)", fig6)
+	register("weights", "Ablation: premise-similarity weight functions (linear/quadratic/exponential/factorial)", weightsAblation)
+	register("fallback", "Ablation: motion-function fallback (RMF vs linear vs none) across prediction lengths", fallbackAblation)
+	register("bqp-penalty", "Ablation: BQP premise penalty (Equation 5 vs Equation 4) on distant queries", bqpPenaltyAblation)
+	register("trelax", "Ablation: BQP time relaxation length tε (paper: best at 1..3)", trelaxAblation)
+}
+
+// predictionLengths returns the Figure 5 x-axis.
+func predictionLengths(o Options) []int {
+	if o.Quick {
+		return []int{20, 60, 100}
+	}
+	return []int{20, 40, 60, 80, 100, 120, 140, 160, 180, 200}
+}
+
+// fig5 sweeps the prediction length with everything else at defaults. HPM
+// stays flat and low; RMF's error climbs with the horizon.
+func fig5(o Options) []Figure {
+	o = o.withDefaults()
+	var figs []Figure
+	for _, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, 0)
+		m := e.train(core.Params{}, 0)
+		rng := rand.New(rand.NewSource(o.Seed + 100))
+		rmf := rmfBaseline()
+
+		lengths := predictionLengths(o)
+		hpmS := Series{Name: "HPM"}
+		rmfS := Series{Name: "RMF"}
+		for _, pl := range lengths {
+			cases := e.queryCases(e.sz.queries, pl, rng)
+			hpmS.X = append(hpmS.X, float64(pl))
+			hpmS.Y = append(hpmS.Y, e.hpmError(m, cases, pl))
+			rmfS.X = append(rmfS.X, float64(pl))
+			rmfS.Y = append(rmfS.Y, e.motionError(rmf, cases, pl))
+		}
+		figs = append(figs, Figure{
+			ID:     "fig5-" + kind.String(),
+			Title:  "Effect of Prediction Length — " + kind.String(),
+			XLabel: "prediction length (time)",
+			YLabel: "average error (distance)",
+			Series: []Series{hpmS, rmfS},
+		})
+	}
+	return figs
+}
+
+// fig6 sweeps the number of sub-trajectories used to mine patterns at a
+// fixed prediction length of 50. HPM starts near RMF (too little history
+// for patterns) and drops steeply once enough days accumulate.
+func fig6(o Options) []Figure {
+	o = o.withDefaults()
+	counts := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	predLen := 50
+	if o.Quick {
+		counts = []int{5, 10, 20}
+		predLen = 30
+	}
+	var figs []Figure
+	for _, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, counts[len(counts)-1])
+		rng := rand.New(rand.NewSource(o.Seed + 200))
+		cases := e.queryCases(e.sz.queries, predLen, rng)
+		rmf := rmfBaseline()
+		rmfErr := e.motionError(rmf, cases, predLen)
+
+		hpmS := Series{Name: "HPM"}
+		rmfS := Series{Name: "RMF"}
+		for _, n := range counts {
+			m := e.train(core.Params{}, n)
+			hpmS.X = append(hpmS.X, float64(n))
+			hpmS.Y = append(hpmS.Y, e.hpmError(m, cases, predLen))
+			rmfS.X = append(rmfS.X, float64(n))
+			rmfS.Y = append(rmfS.Y, rmfErr) // RMF ignores the mined history
+		}
+		figs = append(figs, Figure{
+			ID:     "fig6-" + kind.String(),
+			Title:  "Effect of Sub-trajectories — " + kind.String(),
+			XLabel: "number of sub-trajectories",
+			YLabel: "average error (distance)",
+			Series: []Series{hpmS, rmfS},
+		})
+	}
+	return figs
+}
+
+// weightsAblation compares the four §VI-A weight functions at prediction
+// length 50; the paper reports linear and quadratic ahead.
+func weightsAblation(o Options) []Figure {
+	o = o.withDefaults()
+	predLen := 50
+	if o.Quick {
+		predLen = 30
+	}
+	weights := []hpa.WeightFunc{hpa.WeightLinear, hpa.WeightQuadratic, hpa.WeightExponential, hpa.WeightFactorial}
+	fig := Figure{
+		ID:     "weights",
+		Title:  fmt.Sprintf("Premise weight functions (prediction length %d)", predLen),
+		XLabel: "dataset (0=Bike 1=Cow 2=Car 3=Airplane)",
+		YLabel: "average error (distance)",
+	}
+	series := make([]Series, len(weights))
+	diffs := make([]Series, len(weights))
+	for wi, w := range weights {
+		series[wi] = Series{Name: w.String()}
+		diffs[wi] = Series{Name: w.String()}
+	}
+	// Longer premises make the weight functions distinguishable; the
+	// default MaxLength 3 yields mostly one- and two-region premises whose
+	// top-1 ranking rarely depends on the weighting.
+	mining := pattern.Config{MaxLength: 4, PremiseSpan: 6}
+	for di, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, 0)
+		rng := rand.New(rand.NewSource(o.Seed + 300))
+		cases := e.queryCases(e.sz.queries, predLen, rng)
+		var linearPreds []geom.Point
+		for wi, w := range weights {
+			m := e.train(core.Params{Weight: w, Mining: mining}, 0)
+			preds := e.predictions(m, cases, predLen)
+			if wi == 0 {
+				linearPreds = preds
+			}
+			var total float64
+			for i, qc := range cases {
+				total += preds[i].Dist(e.truth(qc, predLen))
+			}
+			series[wi].X = append(series[wi].X, float64(di))
+			series[wi].Y = append(series[wi].Y, total/float64(len(cases)))
+			diffs[wi].X = append(diffs[wi].X, float64(di))
+			diffs[wi].Y = append(diffs[wi].Y, disagreementPct(preds, linearPreds))
+		}
+	}
+	fig.Series = series
+	return []Figure{fig, {
+		ID:     "weights-diff",
+		Title:  "Top-1 disagreement with the linear weighting",
+		XLabel: fig.XLabel,
+		YLabel: "queries answered differently (%)",
+		Series: diffs,
+	}}
+}
+
+// fallbackAblation pits the full hybrid (patterns+RMF) against
+// patterns+linear, patterns only, and the two raw motion functions.
+func fallbackAblation(o Options) []Figure {
+	o = o.withDefaults()
+	var figs []Figure
+	for _, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, 0)
+		rng := rand.New(rand.NewSource(o.Seed + 400))
+		mRMF := e.train(core.Params{Motion: core.MotionRMF}, 0)
+		mLin := e.train(core.Params{Motion: core.MotionLinear}, 0)
+		mNone := e.train(core.Params{Motion: core.MotionNone}, 0)
+		rmf := rmfBaseline()
+		bounds := e.bounds()
+		lin := func() motion.Function { return motion.NewLinear(&bounds) }
+
+		names := []string{"HPM+RMF", "HPM+Linear", "HPM-only", "RMF", "Linear"}
+		series := make([]Series, len(names))
+		for i, n := range names {
+			series[i] = Series{Name: n}
+		}
+		for _, pl := range predictionLengths(o) {
+			cases := e.queryCases(e.sz.queries, pl, rng)
+			ys := []float64{
+				e.hpmError(mRMF, cases, pl),
+				e.hpmError(mLin, cases, pl),
+				e.hpmError(mNone, cases, pl),
+				e.motionError(rmf, cases, pl),
+				e.motionError(lin, cases, pl),
+			}
+			for i := range series {
+				series[i].X = append(series[i].X, float64(pl))
+				series[i].Y = append(series[i].Y, ys[i])
+			}
+		}
+		figs = append(figs, Figure{
+			ID:     "fallback-" + kind.String(),
+			Title:  "Motion fallback ablation — " + kind.String(),
+			XLabel: "prediction length (time)",
+			YLabel: "average error (distance)",
+			Series: series,
+		})
+	}
+	return figs
+}
+
+// bqpPenaltyAblation measures distant-time queries with Equation 5 (the
+// premise penalty) against Equation 4.
+func bqpPenaltyAblation(o Options) []Figure {
+	o = o.withDefaults()
+	predLen := 100
+	if o.Quick {
+		predLen = 70
+	}
+	fig := Figure{
+		ID:     "bqp-penalty",
+		Title:  fmt.Sprintf("BQP premise penalty (distant queries, prediction length %d)", predLen),
+		XLabel: "dataset (0=Bike 1=Cow 2=Car 3=Airplane)",
+		YLabel: "average error (distance)",
+	}
+	eq5 := Series{Name: "Eq5-penalized"}
+	eq4 := Series{Name: "Eq4-raw"}
+	diff := Series{Name: "top-1 diff %"}
+	for di, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, 0)
+		rng := rand.New(rand.NewSource(o.Seed + 500))
+		cases := e.queryCases(e.sz.queries, predLen, rng)
+		mPen := e.train(core.Params{}, 0)
+		mRaw := e.train(core.Params{DisablePremisePenalty: true}, 0)
+		penPreds := e.predictions(mPen, cases, predLen)
+		rawPreds := e.predictions(mRaw, cases, predLen)
+		avg := func(preds []geom.Point) float64 {
+			var total float64
+			for i, qc := range cases {
+				total += preds[i].Dist(e.truth(qc, predLen))
+			}
+			return total / float64(len(cases))
+		}
+		eq5.X = append(eq5.X, float64(di))
+		eq5.Y = append(eq5.Y, avg(penPreds))
+		eq4.X = append(eq4.X, float64(di))
+		eq4.Y = append(eq4.Y, avg(rawPreds))
+		diff.X = append(diff.X, float64(di))
+		diff.Y = append(diff.Y, disagreementPct(penPreds, rawPreds))
+	}
+	fig.Series = []Series{eq5, eq4, diff}
+	return []Figure{fig}
+}
+
+// trelaxAblation sweeps BQP's time relaxation length tε over 1..5 on
+// distant queries; the paper observed the best accuracy at 1 <= tε <= 3.
+func trelaxAblation(o Options) []Figure {
+	o = o.withDefaults()
+	predLen := 100
+	if o.Quick {
+		predLen = 70
+	}
+	var figs []Figure
+	for _, kind := range datasetsFor(o) {
+		e := newEnv(kind, o, 0)
+		rng := rand.New(rand.NewSource(o.Seed + 600))
+		cases := e.queryCases(e.sz.queries, predLen, rng)
+		s := Series{Name: "HPM"}
+		for te := 1; te <= 5; te++ {
+			m := e.train(core.Params{TimeRelaxation: te}, 0)
+			s.X = append(s.X, float64(te))
+			s.Y = append(s.Y, e.hpmError(m, cases, predLen))
+		}
+		figs = append(figs, Figure{
+			ID:     "trelax-" + kind.String(),
+			Title:  fmt.Sprintf("Time relaxation length (distant queries, prediction length %d) — %s", predLen, kind),
+			XLabel: "time relaxation tε",
+			YLabel: "average error (distance)",
+			Series: []Series{s},
+		})
+	}
+	return figs
+}

@@ -1,0 +1,465 @@
+package hpa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hpm/internal/bitkey"
+	"hpm/internal/geom"
+	"hpm/internal/motion"
+	"hpm/internal/pattern"
+	"hpm/internal/tpt"
+	"hpm/internal/trajectory"
+)
+
+// Source tells how a prediction was produced.
+type Source int
+
+// Prediction sources.
+const (
+	SourcePattern Source = iota // a trajectory pattern's consequence center
+	SourceMotion                // the motion-function fallback
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	if s == SourcePattern {
+		return "pattern"
+	}
+	return "motion"
+}
+
+// Prediction is one predicted location with its provenance.
+type Prediction struct {
+	Location   geom.Point
+	Score      float64 // the ranking weight Sp (0 for motion fallback)
+	Confidence float64 // the pattern confidence c (0 for motion fallback)
+	PatternRef int     // index into the engine's pattern slice, -1 for motion
+	Source     Source
+	// Extent is the consequence region's bounding box — the paper's
+	// answers are region centers, and the region extent is the natural
+	// uncertainty bound. Zero for motion-function predictions.
+	Extent geom.Rect
+	// ConsequenceOffset is the time offset the winning pattern predicts
+	// for; for BQP it may differ from the query offset by up to the
+	// (expanded) relaxation window. -1 for motion-function predictions.
+	ConsequenceOffset int
+}
+
+// Query is a predictive query: the object's recent movements and the
+// absolute query time.
+type Query struct {
+	Recent []trajectory.TimedPoint // ascending consecutive timestamps
+	Tq     int                     // absolute query time, after Recent's end
+	K      int                     // number of predictions wanted; <=0 means 1
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Period is T, the pattern re-appearance period. Required.
+	Period int
+	// DistantThreshold is d in Definition 2: queries with
+	// tq - tc >= DistantThreshold use BQP. Values <= 0 default to
+	// DefaultDistantThreshold (the paper's experiments use 60).
+	DistantThreshold int
+	// TimeRelaxation is tε, BQP's base window radius. Values <= 0 default
+	// to DefaultTimeRelaxation (the paper observed 1..3 predicting best).
+	TimeRelaxation int
+	// Weight selects the premise-similarity weight function.
+	Weight WeightFunc
+	// PenalizePremise applies Equation 5's d/(tq-tc) premise penalty in
+	// BQP ranking (the paper's final form). Disabling it reverts to
+	// Equation 4 — exposed for the ablation bench.
+	PenalizePremise bool
+	// NewMotion builds the fallback motion function; it is invoked once
+	// per query that needs the fallback, matching the paper's cost model
+	// where every RMF call retrains on the recent window. Nil disables the
+	// fallback (pattern-only prediction, used by some ablations).
+	NewMotion func() motion.Function
+}
+
+// Defaults for Config fields left at their zero value.
+const (
+	DefaultDistantThreshold = 60
+	DefaultTimeRelaxation   = 2
+)
+
+// QueryStats counts what the engine did since construction (or the last
+// ResetStats). The counters quantify the paper's cost argument: the more
+// patterns answer, the fewer expensive motion-function constructions run.
+type QueryStats struct {
+	Queries      int // Predict calls answered
+	Forward      int // answered by FQP
+	Backward     int // answered by BQP
+	Fallback     int // answered by the motion function
+	Unanswered   int // no pattern and no (or failed) fallback
+	NodesVisited int // TPT nodes touched across all searches
+}
+
+// Engine answers predictive queries over a mined pattern set indexed in a
+// Trajectory Pattern Tree.
+type Engine struct {
+	enc      *pattern.Encoder
+	tree     *tpt.Tree
+	patterns []pattern.Pattern
+	cfg      Config
+
+	// consequence offset per pattern, precomputed for BQP scoring.
+	consOffsets []int
+
+	stats QueryStats
+}
+
+// NewEngine indexes the patterns and returns a ready engine. The patterns
+// slice is retained; PatternRef values in predictions index into it.
+func NewEngine(enc *pattern.Encoder, patterns []pattern.Pattern, cfg Config, treeOpts tpt.Options) (*Engine, error) {
+	if cfg.Period <= 0 {
+		return nil, errors.New("hpa: Config.Period must be positive")
+	}
+	if cfg.DistantThreshold <= 0 {
+		cfg.DistantThreshold = DefaultDistantThreshold
+	}
+	if cfg.TimeRelaxation <= 0 {
+		cfg.TimeRelaxation = DefaultTimeRelaxation
+	}
+	items := make([]tpt.Item, len(patterns))
+	offsets := make([]int, len(patterns))
+	for i, p := range patterns {
+		items[i] = tpt.Item{Key: enc.Encode(p), Conf: p.Confidence, Ref: i}
+		offsets[i] = enc.RegionTable().Region(p.Consequence).Offset
+	}
+	tree := tpt.BulkLoad(enc.ConsequenceTable().Len(), enc.RegionTable().Len(), items, treeOpts)
+	return &Engine{enc: enc, tree: tree, patterns: patterns, cfg: cfg, consOffsets: offsets}, nil
+}
+
+// Tree exposes the underlying TPT for diagnostics and benchmarks.
+func (e *Engine) Tree() *tpt.Tree { return e.tree }
+
+// AddPatterns inserts newly mined patterns into the live index using the
+// TPT insertion algorithm (§V-B dynamic data). Patterns whose consequence
+// time offset is absent from the consequence-key table cannot be encoded
+// against the existing keys and are skipped — the table is fixed at build
+// time, exactly as in the paper; retrain to widen it. Returns how many
+// patterns were inserted and how many were skipped.
+func (e *Engine) AddPatterns(ps []pattern.Pattern) (added, skipped int) {
+	ct := e.enc.ConsequenceTable()
+	rt := e.enc.RegionTable()
+	for _, p := range ps {
+		off := rt.Region(p.Consequence).Offset
+		if _, ok := ct.TimeID(off); !ok {
+			skipped++
+			continue
+		}
+		ref := len(e.patterns)
+		e.patterns = append(e.patterns, p)
+		e.consOffsets = append(e.consOffsets, off)
+		e.tree.Insert(tpt.Item{Key: e.enc.Encode(p), Conf: p.Confidence, Ref: ref})
+		added++
+	}
+	return added, skipped
+}
+
+// Patterns returns the indexed pattern slice. Callers must not mutate it.
+func (e *Engine) Patterns() []pattern.Pattern { return e.patterns }
+
+// Config returns the engine configuration after defaulting.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns the accumulated query counters.
+func (e *Engine) Stats() QueryStats { return e.stats }
+
+// ResetStats zeroes the query counters.
+func (e *Engine) ResetStats() { e.stats = QueryStats{} }
+
+// IsDistant reports whether a query from current time tc to query time tq
+// is a distant-time query (Definition 2).
+func (e *Engine) IsDistant(tc, tq int) bool {
+	return tq-tc >= e.cfg.DistantThreshold
+}
+
+// EncodeRecent maps the recent movements to the frequent regions visited,
+// deduplicated, in visit order. Locations matching no region are skipped —
+// the paper only encodes regions the object demonstrably passed through.
+func (e *Engine) EncodeRecent(recent []trajectory.TimedPoint) []pattern.RegionID {
+	rt := e.enc.RegionTable()
+	var ids []pattern.RegionID
+	seen := map[pattern.RegionID]bool{}
+	for _, tp := range recent {
+		off := mod(tp.T, e.cfg.Period)
+		if fr, ok := rt.Locate(off, tp.Loc); ok && !seen[fr.ID] {
+			seen[fr.ID] = true
+			ids = append(ids, fr.ID)
+		}
+	}
+	return ids
+}
+
+// Predict answers a query with the full Hybrid Prediction Algorithm:
+// FQP for near queries, BQP for distant ones, motion-function fallback when
+// no pattern qualifies.
+func (e *Engine) Predict(q Query) ([]Prediction, error) {
+	if len(q.Recent) == 0 {
+		return nil, errors.New("hpa: query has no recent movements")
+	}
+	tc := q.Recent[len(q.Recent)-1].T
+	if q.Tq <= tc {
+		return nil, fmt.Errorf("hpa: query time %d not after current time %d", q.Tq, tc)
+	}
+	k := q.K
+	if k <= 0 {
+		k = 1
+	}
+	visited := e.EncodeRecent(q.Recent)
+
+	e.stats.Queries++
+	var preds []Prediction
+	distant := e.IsDistant(tc, q.Tq)
+	if distant {
+		preds = e.BackwardQuery(visited, tc, q.Tq, k)
+	} else {
+		preds = e.ForwardQuery(visited, q.Tq, k)
+	}
+	if len(preds) > 0 {
+		if distant {
+			e.stats.Backward++
+		} else {
+			e.stats.Forward++
+		}
+		return preds, nil
+	}
+	fb, err := e.motionFallback(q)
+	switch {
+	case err != nil || len(fb) == 0:
+		e.stats.Unanswered++
+	default:
+		e.stats.Fallback++
+	}
+	return fb, err
+}
+
+// PredictRange answers a predictive trajectory query: the object's most
+// probable location at every timestamp in [from, to]. Each timestamp is
+// dispatched to FQP or BQP by its own distance from the current time; the
+// motion function, when needed, is fitted once and reused across the whole
+// range (a single model construction, unlike per-point Predict calls).
+// The result holds exactly to-from+1 predictions in timestamp order.
+func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]Prediction, error) {
+	if len(recent) == 0 {
+		return nil, errors.New("hpa: query has no recent movements")
+	}
+	tc := recent[len(recent)-1].T
+	if from <= tc || to < from {
+		return nil, fmt.Errorf("hpa: range [%d,%d] invalid for current time %d", from, to, tc)
+	}
+	visited := e.EncodeRecent(recent)
+
+	var fn motion.Function
+	var fnErr error
+	fitted := false
+	fallback := func(tq int) Prediction {
+		p := Prediction{Location: recent[len(recent)-1].Loc, PatternRef: -1,
+			Source: SourceMotion, ConsequenceOffset: -1}
+		if e.cfg.NewMotion == nil {
+			return p
+		}
+		if !fitted {
+			fitted = true
+			fn = e.cfg.NewMotion()
+			fnErr = fn.Fit(recent)
+		}
+		if fnErr != nil {
+			return p
+		}
+		if loc, err := fn.Predict(tq); err == nil {
+			p.Location = loc
+		}
+		return p
+	}
+
+	out := make([]Prediction, 0, to-from+1)
+	for tq := from; tq <= to; tq++ {
+		var preds []Prediction
+		if e.IsDistant(tc, tq) {
+			preds = e.BackwardQuery(visited, tc, tq, 1)
+		} else {
+			preds = e.ForwardQuery(visited, tq, 1)
+		}
+		if len(preds) > 0 {
+			out = append(out, preds[0])
+		} else {
+			out = append(out, fallback(tq))
+		}
+	}
+	return out, nil
+}
+
+// ForwardQuery implements Algorithm 2 minus the motion fallback: it returns
+// the top-k pattern predictions for a non-distant query, or nil when no
+// pattern qualifies.
+func (e *Engine) ForwardQuery(visited []pattern.RegionID, tq, k int) []Prediction {
+	if len(visited) == 0 {
+		return nil
+	}
+	tqOff := mod(tq, e.cfg.Period)
+	qk := e.enc.QueryKey(visited, tqOff)
+	if qk.CK.IsZero() || qk.RK.IsZero() {
+		return nil
+	}
+	var cands []Prediction
+	e.stats.NodesVisited += e.tree.SearchIntersect(qk, func(it tpt.Item) bool {
+		sr := PremiseSimilarity(it.Key.RK, qk.RK, e.cfg.Weight)
+		fr := e.consequenceRegion(it.Ref)
+		cands = append(cands, Prediction{
+			Location:          fr.Center,
+			Score:             sr * it.Conf, // Equation 2
+			Confidence:        it.Conf,
+			PatternRef:        it.Ref,
+			Source:            SourcePattern,
+			Extent:            fr.MBR,
+			ConsequenceOffset: fr.Offset,
+		})
+		return true
+	})
+	return topK(cands, k)
+}
+
+// BackwardQuery implements Algorithm 3 minus the motion fallback: starting
+// from the base window [tq-tε, tq+tε] it widens until at least one pattern
+// has a consequence offset inside the window or the window reaches the
+// current time, then ranks by Equation 5 (or Equation 4 when the premise
+// penalty is disabled).
+func (e *Engine) BackwardQuery(visited []pattern.RegionID, tc, tq, k int) []Prediction {
+	qrk := e.enc.RegionTable().PremiseKey(visited)
+	ct := e.enc.ConsequenceTable()
+	tqOff := mod(tq, e.cfg.Period)
+
+	for i := 1; ; i++ {
+		radius := i * e.cfg.TimeRelaxation
+		ck := consequenceWindowKey(ct, tqOff, radius, e.cfg.Period)
+		var cands []Prediction
+		if !ck.IsZero() {
+			qk := bitkey.PatternKey{CK: ck, RK: qrk}
+			e.stats.NodesVisited += e.tree.SearchConsequence(qk, func(it tpt.Item) bool {
+				t := e.consOffsets[it.Ref]
+				dist := circularDist(tqOff, t, e.cfg.Period)
+				if dist > radius {
+					return true // key bit wrapped in; outside this window
+				}
+				sc := 1 - float64(dist)/float64(radius+1) // Equation 3
+				sr := PremiseSimilarity(it.Key.RK, qrk, e.cfg.Weight)
+				var sp float64
+				if e.cfg.PenalizePremise {
+					sp = (sr*float64(e.cfg.DistantThreshold)/float64(tq-tc) + sc) * it.Conf // Equation 5
+				} else {
+					sp = (sr + sc) * it.Conf // Equation 4
+				}
+				fr := e.consequenceRegion(it.Ref)
+				cands = append(cands, Prediction{
+					Location:          fr.Center,
+					Score:             sp,
+					Confidence:        it.Conf,
+					PatternRef:        it.Ref,
+					Source:            SourcePattern,
+					Extent:            fr.MBR,
+					ConsequenceOffset: fr.Offset,
+				})
+				return true
+			})
+		}
+		if len(cands) > 0 {
+			return topK(cands, k)
+		}
+		// Algorithm 3 line 8: widen only while the window's lower edge
+		// stays after the current time.
+		if tq-(i+1)*e.cfg.TimeRelaxation <= tc {
+			return nil
+		}
+	}
+}
+
+func (e *Engine) consequenceRegion(ref int) *pattern.FrequentRegion {
+	return e.enc.RegionTable().Region(e.patterns[ref].Consequence)
+}
+
+func (e *Engine) motionFallback(q Query) ([]Prediction, error) {
+	if e.cfg.NewMotion == nil {
+		return nil, nil
+	}
+	fn := e.cfg.NewMotion()
+	if err := fn.Fit(q.Recent); err != nil {
+		// Degenerate recent window: answer with the last known location
+		// rather than failing the query.
+		return []Prediction{{
+			Location:          q.Recent[len(q.Recent)-1].Loc,
+			PatternRef:        -1,
+			Source:            SourceMotion,
+			ConsequenceOffset: -1,
+		}}, nil
+	}
+	loc, err := fn.Predict(q.Tq)
+	if err != nil {
+		return nil, fmt.Errorf("hpa: motion fallback: %w", err)
+	}
+	return []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion, ConsequenceOffset: -1}}, nil
+}
+
+// topK sorts candidates by score (ties: higher confidence, then lower
+// pattern index for determinism) and truncates to k.
+func topK(cands []Prediction, k int) []Prediction {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		return a.PatternRef < b.PatternRef
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// consequenceWindowKey builds the consequence key for the offsets within
+// radius of tqOff, wrapping modulo the period.
+func consequenceWindowKey(ct *pattern.ConsequenceTable, tqOff, radius, period int) (k bitkey.Key) {
+	if 2*radius+1 >= period {
+		return ct.KeyRange(0, period-1)
+	}
+	lo, hi := tqOff-radius, tqOff+radius
+	switch {
+	case lo < 0:
+		k = ct.KeyRange(0, hi)
+		k.OrInPlace(ct.KeyRange(mod(lo, period), period-1))
+	case hi >= period:
+		k = ct.KeyRange(lo, period-1)
+		k.OrInPlace(ct.KeyRange(0, hi-period))
+	default:
+		k = ct.KeyRange(lo, hi)
+	}
+	return k
+}
+
+// mod is the non-negative remainder.
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// circularDist is the wrap-around distance between two offsets in [0, n).
+func circularDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}

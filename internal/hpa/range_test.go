@@ -1,0 +1,142 @@
+package hpa
+
+import (
+	"testing"
+
+	"hpm/internal/geom"
+	"hpm/internal/motion"
+	"hpm/internal/pattern"
+	"hpm/internal/trajectory"
+)
+
+func TestPredictRangeBasics(t *testing.T) {
+	eng, centers := janeEngine(t, Config{Period: 3, DistantThreshold: 100, Weight: WeightLinear,
+		NewMotion: func() motion.Function { return motion.NewLinear(nil) }})
+	recent := []trajectory.TimedPoint{
+		{T: 0, Loc: centers["home"]},
+		{T: 1, Loc: centers["city"]},
+	}
+	preds, err := eng.PredictRange(recent, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("range returned %d predictions, want 3", len(preds))
+	}
+	// Offset 2 has a pattern (Work); offsets 0,1 of the next period have
+	// consequences too (City at offset 1) or fall back to motion.
+	if preds[0].Source != SourcePattern {
+		t.Errorf("t=2 source %v, want pattern", preds[0].Source)
+	}
+	if preds[0].Location.Dist(centers["work"]) > 10 {
+		t.Errorf("t=2 predicted %v, want near work", preds[0].Location)
+	}
+	// Pattern predictions carry region extent and consequence offset.
+	if !preds[0].Extent.IsValid() || preds[0].Extent.Area() == 0 {
+		t.Errorf("pattern prediction missing extent: %+v", preds[0].Extent)
+	}
+	if preds[0].ConsequenceOffset != 2 {
+		t.Errorf("ConsequenceOffset = %d, want 2", preds[0].ConsequenceOffset)
+	}
+}
+
+func TestPredictRangeValidation(t *testing.T) {
+	eng, centers := janeEngine(t, Config{Period: 3})
+	recent := []trajectory.TimedPoint{{T: 5, Loc: centers["home"]}}
+	if _, err := eng.PredictRange(nil, 6, 8); err == nil {
+		t.Error("empty recent accepted")
+	}
+	if _, err := eng.PredictRange(recent, 5, 8); err == nil {
+		t.Error("from == tc accepted")
+	}
+	if _, err := eng.PredictRange(recent, 8, 6); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestPredictRangeMotionFittedOnce(t *testing.T) {
+	fits := 0
+	countingMotion := func() motion.Function {
+		fits++
+		return motion.NewLinear(nil)
+	}
+	eng, _ := janeEngine(t, Config{Period: 3, DistantThreshold: 100, NewMotion: countingMotion})
+	// Recent movements far from all regions: every timestamp falls back.
+	recent := []trajectory.TimedPoint{
+		{T: 0, Loc: geom.Pt(9000, 9000)},
+		{T: 1, Loc: geom.Pt(9010, 9000)},
+	}
+	preds, err := eng.PredictRange(recent, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 10 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, p := range preds {
+		if p.Source != SourceMotion {
+			t.Errorf("pred %d source %v, want motion", i, p.Source)
+		}
+	}
+	if fits != 1 {
+		t.Errorf("motion function fitted %d times, want 1", fits)
+	}
+	// Motion predictions extrapolate: consecutive locations advance.
+	if preds[1].Location == preds[0].Location {
+		t.Error("motion range predictions did not advance")
+	}
+}
+
+func TestPredictRangeNoFallbackUsesLastKnown(t *testing.T) {
+	eng, _ := janeEngine(t, Config{Period: 3, DistantThreshold: 100}) // no NewMotion
+	last := geom.Pt(9010, 9000)
+	recent := []trajectory.TimedPoint{
+		{T: 0, Loc: geom.Pt(9000, 9000)},
+		{T: 1, Loc: last},
+	}
+	preds, err := eng.PredictRange(recent, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range preds {
+		if p.Location != last {
+			t.Errorf("pred %d = %v, want last known %v", i, p.Location, last)
+		}
+	}
+}
+
+func TestPredictRangeMixesSources(t *testing.T) {
+	// Period 100 with consequences only at offsets 1 and 2: a range
+	// crossing pattern-covered and uncovered offsets mixes sources.
+	eng, _ := janeEngine(t, Config{Period: 100, DistantThreshold: 1000,
+		NewMotion: func() motion.Function { return motion.NewLinear(nil) }})
+	_ = eng
+	// Build a fresh engine whose patterns we know: reuse jane fixture via
+	// janeEngine and query across offsets 1..5 with a premise at Home.
+	eng2, centers := janeEngine(t, Config{Period: 100, DistantThreshold: 1000,
+		NewMotion: func() motion.Function { return motion.NewLinear(nil) }})
+	recent := []trajectory.TimedPoint{{T: 0, Loc: centers["home"]}}
+	preds, err := eng2.PredictRange(recent, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0].Source != SourcePattern || preds[1].Source != SourcePattern {
+		t.Errorf("offsets 1,2 should be pattern: %v %v", preds[0].Source, preds[1].Source)
+	}
+	for i := 2; i < 5; i++ {
+		if preds[i].Source != SourceMotion {
+			t.Errorf("offset %d should be motion, got %v", i+1, preds[i].Source)
+		}
+	}
+}
+
+func TestForwardQueryExtentMatchesRegion(t *testing.T) {
+	eng, _ := janeEngine(t, Config{DistantThreshold: 60, Weight: WeightLinear})
+	preds := eng.ForwardQuery([]pattern.RegionID{0, 1}, 2, 1)
+	if len(preds) != 1 {
+		t.Fatal("no prediction")
+	}
+	if !preds[0].Extent.Contains(preds[0].Location) {
+		t.Error("region extent does not contain its center")
+	}
+}

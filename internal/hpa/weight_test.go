@@ -1,0 +1,139 @@
+package hpa
+
+import (
+	"math"
+	"testing"
+
+	"hpm/internal/bitkey"
+)
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, w := range []WeightFunc{WeightLinear, WeightQuadratic, WeightExponential, WeightFactorial} {
+		for size := 1; size <= 8; size++ {
+			ws := w.Weights(size)
+			if len(ws) != size {
+				t.Fatalf("%s: Weights(%d) length %d", w, size, len(ws))
+			}
+			var sum float64
+			for i, v := range ws {
+				sum += v
+				if i > 0 && v <= ws[i-1] {
+					t.Errorf("%s size %d: weight %d not increasing (%v <= %v)", w, size, i+1, v, ws[i-1])
+				}
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("%s: Weights(%d) sum %v", w, size, sum)
+			}
+		}
+	}
+}
+
+func TestWeightValues(t *testing.T) {
+	// Linear over size 2: 1/3, 2/3 — the paper's worked example.
+	ws := WeightLinear.Weights(2)
+	if math.Abs(ws[0]-1.0/3) > 1e-12 || math.Abs(ws[1]-2.0/3) > 1e-12 {
+		t.Errorf("linear weights = %v, want [1/3 2/3]", ws)
+	}
+	// Quadratic over size 3: 1/14, 4/14, 9/14.
+	ws = WeightQuadratic.Weights(3)
+	for i, want := range []float64{1.0 / 14, 4.0 / 14, 9.0 / 14} {
+		if math.Abs(ws[i]-want) > 1e-12 {
+			t.Errorf("quadratic weight %d = %v, want %v", i, ws[i], want)
+		}
+	}
+	// Exponential over size 3: 2/14, 4/14, 8/14.
+	ws = WeightExponential.Weights(3)
+	for i, want := range []float64{2.0 / 14, 4.0 / 14, 8.0 / 14} {
+		if math.Abs(ws[i]-want) > 1e-12 {
+			t.Errorf("exponential weight %d = %v, want %v", i, ws[i], want)
+		}
+	}
+	// Factorial over size 3: 1/9, 2/9, 6/9.
+	ws = WeightFactorial.Weights(3)
+	for i, want := range []float64{1.0 / 9, 2.0 / 9, 6.0 / 9} {
+		if math.Abs(ws[i]-want) > 1e-12 {
+			t.Errorf("factorial weight %d = %v, want %v", i, ws[i], want)
+		}
+	}
+}
+
+func TestWeightsEmpty(t *testing.T) {
+	if got := WeightLinear.Weights(0); got != nil {
+		t.Errorf("Weights(0) = %v, want nil", got)
+	}
+}
+
+func TestWeightString(t *testing.T) {
+	names := map[WeightFunc]string{
+		WeightLinear:      "linear",
+		WeightQuadratic:   "quadratic",
+		WeightExponential: "exponential",
+		WeightFactorial:   "factorial",
+	}
+	for w, want := range names {
+		if w.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(w), w.String(), want)
+		}
+	}
+}
+
+// The paper's §VI-A examples: similarity(00011, 00011) = 1 and
+// similarity(00011, 00010) = 2/3 under the linear weight function.
+func TestPremiseSimilarityPaperExamples(t *testing.T) {
+	rk := bitkey.MustParse("00011")
+	if got := PremiseSimilarity(rk, bitkey.MustParse("00011"), WeightLinear); math.Abs(got-1) > 1e-12 {
+		t.Errorf("similarity(00011,00011) = %v, want 1", got)
+	}
+	if got := PremiseSimilarity(rk, bitkey.MustParse("00010"), WeightLinear); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("similarity(00011,00010) = %v, want 2/3", got)
+	}
+	// The P3 case from §VI-B: rk=00101 vs rkq=00011 shares only the first
+	// '1' of rk, whose ordinal weight is 1/3.
+	if got := PremiseSimilarity(bitkey.MustParse("00101"), bitkey.MustParse("00011"), WeightLinear); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("similarity(00101,00011) = %v, want 1/3", got)
+	}
+}
+
+func TestPremiseSimilarityOrdinalSemantics(t *testing.T) {
+	// Weights attach to the ordinals of rk's own ones, not raw positions:
+	// rk=10100 has ones at raw positions 3 and 5 with ordinals 1 and 2.
+	rk := bitkey.MustParse("10100")
+	// Query matching only the higher '1' gets the larger weight 2/3.
+	if got := PremiseSimilarity(rk, bitkey.MustParse("10000"), WeightLinear); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("high-position match = %v, want 2/3", got)
+	}
+	// Query matching only the lower '1' gets 1/3.
+	if got := PremiseSimilarity(rk, bitkey.MustParse("00100"), WeightLinear); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("low-position match = %v, want 1/3", got)
+	}
+}
+
+func TestPremiseSimilarityBounds(t *testing.T) {
+	rk := bitkey.MustParse("01110")
+	queries := []string{"00000", "01110", "11111", "00010", "10001"}
+	for _, qs := range queries {
+		got := PremiseSimilarity(rk, bitkey.MustParse(qs), WeightQuadratic)
+		if got < 0 || got > 1+1e-12 {
+			t.Errorf("similarity(%s) = %v out of [0,1]", qs, got)
+		}
+	}
+	// Empty premise key: similarity is 0 by definition.
+	if got := PremiseSimilarity(bitkey.MustParse("00000"), bitkey.MustParse("11111"), WeightLinear); got != 0 {
+		t.Errorf("empty premise similarity = %v", got)
+	}
+}
+
+func BenchmarkPremiseSimilarity(b *testing.B) {
+	rk := bitkey.New(800)
+	for _, p := range []int{3, 120, 240, 555, 700} {
+		rk.Set(p)
+	}
+	rkq := bitkey.New(800)
+	for p := 100; p <= 260; p += 4 {
+		rkq.Set(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PremiseSimilarity(rk, rkq, WeightLinear)
+	}
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the regression system is numerically rank
+// deficient and no ridge term was supplied to repair it.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// qr holds a Householder QR factorization of an m x n matrix with m >= n.
+// The factored form stores the Householder vectors below the diagonal of a
+// and the upper triangle R on and above it, matching the classic LINPACK
+// layout.
+type qr struct {
+	a     *Matrix   // packed factors
+	rdiag []float64 // diagonal of R
+}
+
+// factorQR computes the Householder QR factorization of a copy of m.
+// It requires m.Rows() >= m.Cols().
+func factorQR(m *Matrix) *qr {
+	if m.rows < m.cols {
+		panic("linalg: QR requires rows >= cols")
+	}
+	a := m.Clone()
+	n := a.cols
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		var nrm float64
+		for i := k; i < a.rows; i++ {
+			nrm = math.Hypot(nrm, a.At(i, k))
+		}
+		if nrm != 0 {
+			if a.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < a.rows; i++ {
+				a.Set(i, k, a.At(i, k)/nrm)
+			}
+			a.Set(k, k, a.At(k, k)+1)
+			// Apply the reflector to the remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < a.rows; i++ {
+					s += a.At(i, k) * a.At(i, j)
+				}
+				s = -s / a.At(k, k)
+				for i := k; i < a.rows; i++ {
+					a.Set(i, j, a.At(i, j)+s*a.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &qr{a: a, rdiag: rdiag}
+}
+
+// isFullRank reports whether every diagonal of R is meaningfully non-zero
+// relative to the matrix scale.
+func (f *qr) isFullRank() bool {
+	scale := 0.0
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > scale {
+			scale = a
+		}
+	}
+	tol := scale * 1e-12
+	if tol == 0 {
+		return false
+	}
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// solve computes the least-squares solution X minimizing ||A*X - B||_F for
+// the factored A and each column of B.
+func (f *qr) solve(b *Matrix) (*Matrix, error) {
+	if b.rows != f.a.rows {
+		panic("linalg: QR solve shape mismatch")
+	}
+	if !f.isFullRank() {
+		return nil, ErrSingular
+	}
+	n := f.a.cols
+	nb := b.cols
+	y := b.Clone()
+	// Apply Householder reflectors to B: Y = Q^T * B.
+	for k := 0; k < n; k++ {
+		if f.a.At(k, k) == 0 {
+			continue
+		}
+		for j := 0; j < nb; j++ {
+			var s float64
+			for i := k; i < f.a.rows; i++ {
+				s += f.a.At(i, k) * y.At(i, j)
+			}
+			s = -s / f.a.At(k, k)
+			for i := k; i < f.a.rows; i++ {
+				y.Set(i, j, y.At(i, j)+s*f.a.At(i, k))
+			}
+		}
+	}
+	// Back-substitute R*X = Y[0:n].
+	x := NewMatrix(n, nb)
+	for k := n - 1; k >= 0; k-- {
+		for j := 0; j < nb; j++ {
+			s := y.At(k, j)
+			for i := k + 1; i < n; i++ {
+				s -= f.a.At(k, i) * x.At(i, j)
+			}
+			x.Set(k, j, s/f.rdiag[k])
+		}
+	}
+	return x, nil
+}
+
+// LeastSquares returns the X minimizing ||A*X - B||_F. A must have at least
+// as many rows as columns. It returns ErrSingular when A is numerically rank
+// deficient.
+func LeastSquares(a, b *Matrix) (*Matrix, error) {
+	return factorQR(a).solve(b)
+}
+
+// RidgeLeastSquares returns the X minimizing
+// ||A*X - B||_F^2 + lambda*||X||_F^2 by solving the augmented system
+// [A; sqrt(lambda)*I] X = [B; 0]. Any lambda > 0 makes the system full rank,
+// so the solve cannot fail; lambda == 0 falls back to plain LeastSquares.
+//
+// RMF fitting uses a small ridge because a stationary object produces
+// duplicate regressor rows that are exactly rank deficient.
+func RidgeLeastSquares(a, b *Matrix, lambda float64) (*Matrix, error) {
+	if lambda < 0 {
+		panic("linalg: negative ridge parameter")
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	n := a.cols
+	aug := NewMatrix(a.rows+n, n)
+	for i := 0; i < a.rows; i++ {
+		copy(aug.data[i*n:(i+1)*n], a.data[i*n:(i+1)*n])
+	}
+	s := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(a.rows+i, i, s)
+	}
+	baug := NewMatrix(a.rows+n, b.cols)
+	for i := 0; i < b.rows; i++ {
+		copy(baug.data[i*b.cols:(i+1)*b.cols], b.data[i*b.cols:(i+1)*b.cols])
+	}
+	return LeastSquares(aug, baug)
+}

@@ -1,0 +1,386 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpm/internal/geom"
+	"hpm/internal/trajectory"
+)
+
+func timed(points []geom.Point, t0 int) []trajectory.TimedPoint {
+	out := make([]trajectory.TimedPoint, len(points))
+	for i, p := range points {
+		out[i] = trajectory.TimedPoint{T: t0 + i, Loc: p}
+	}
+	return out
+}
+
+func linearPath(n int, start, vel geom.Point) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = start.Add(vel.Scale(float64(i)))
+	}
+	return pts
+}
+
+func circlePath(n int, center geom.Point, radius, omega float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		a := omega * float64(i)
+		pts[i] = geom.Pt(center.X+radius*math.Cos(a), center.Y+radius*math.Sin(a))
+	}
+	return pts
+}
+
+func TestLinearExactOnLinearMotion(t *testing.T) {
+	pts := linearPath(10, geom.Pt(100, 200), geom.Pt(3, -2))
+	l := NewLinear(nil)
+	if err := l.Fit(timed(pts, 50)); err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int{1, 10, 100} {
+		got, err := l.Predict(59 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pts[9].Add(geom.Pt(3, -2).Scale(float64(dt)))
+		if got.Dist(want) > 1e-6 {
+			t.Errorf("Predict(+%d) = %v, want %v", dt, got, want)
+		}
+	}
+}
+
+func TestLinearName(t *testing.T) {
+	if NewLinear(nil).Name() != "Linear" {
+		t.Error("wrong name")
+	}
+	if NewRMF(RMFConfig{}).Name() != "RMF" {
+		t.Error("wrong name")
+	}
+}
+
+func TestLinearClamps(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1000, 1000)}
+	l := NewLinear(&bounds)
+	pts := linearPath(5, geom.Pt(900, 900), geom.Pt(50, 50))
+	if err := l.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Predict(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Contains(got) {
+		t.Errorf("prediction %v escaped bounds", got)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for _, fn := range []Function{NewLinear(nil), NewRMF(RMFConfig{})} {
+		if err := fn.Fit(nil); err == nil {
+			t.Errorf("%s accepted empty input", fn.Name())
+		}
+		if err := fn.Fit(timed(linearPath(1, geom.Pt(0, 0), geom.Pt(1, 1)), 0)); err == nil {
+			t.Errorf("%s accepted a single point", fn.Name())
+		}
+		bad := []trajectory.TimedPoint{{T: 0, Loc: geom.Pt(0, 0)}, {T: 2, Loc: geom.Pt(1, 1)}}
+		if err := fn.Fit(bad); err == nil {
+			t.Errorf("%s accepted a timestamp gap", fn.Name())
+		}
+		if _, err := fn.Predict(10); err != ErrNotFitted {
+			t.Errorf("%s Predict before Fit: %v, want ErrNotFitted", fn.Name(), err)
+		}
+	}
+}
+
+func TestRMFRecoversLinearMotion(t *testing.T) {
+	pts := linearPath(30, geom.Pt(0, 0), geom.Pt(5, 2))
+	r := NewRMF(RMFConfig{})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Linear motion satisfies l_t = 2 l_{t-1} - l_{t-2}; RMF must
+	// extrapolate it near-exactly over a short horizon.
+	for _, dt := range []int{1, 5, 20} {
+		got, err := r.Predict(29 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := geom.Pt(5*float64(29+dt), 2*float64(29+dt))
+		if got.Dist(want) > 1e-3*float64(dt)+1e-6 {
+			t.Errorf("Predict(+%d) = %v, want %v", dt, got, want)
+		}
+	}
+}
+
+func TestRMFTracksCircularMotionShortTerm(t *testing.T) {
+	// The paper credits RMF with capturing non-linear motion that the
+	// linear model cannot. A circle is the canonical example.
+	pts := circlePath(40, geom.Pt(0, 0), 100, 0.2)
+	r := NewRMF(RMFConfig{})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinear(nil)
+	if err := l.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	full := circlePath(60, geom.Pt(0, 0), 100, 0.2)
+	var rmfErr, linErr float64
+	for dt := 1; dt <= 15; dt++ {
+		rp, err := r.Predict(39 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := l.Predict(39 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmfErr += rp.Dist(full[39+dt])
+		linErr += lp.Dist(full[39+dt])
+	}
+	if rmfErr >= linErr {
+		t.Errorf("RMF error %v not better than linear %v on circular motion", rmfErr, linErr)
+	}
+	if rmfErr > 30 { // 15 predictions on a radius-100 circle
+		t.Errorf("RMF cumulative error %v too large on noiseless circle", rmfErr)
+	}
+}
+
+func TestRMFErrorGrowsWithHorizon(t *testing.T) {
+	// The paper's Figure 5 premise: motion-function error rises with the
+	// prediction length on realistic (noisy, turning) movement.
+	r := rand.New(rand.NewSource(9))
+	pts := make([]geom.Point, 40)
+	p := geom.Pt(5000, 5000)
+	dir := geom.Pt(30, 0)
+	for i := range pts {
+		if i%10 == 9 { // sharp turn
+			dir = geom.Pt(-dir.Y, dir.X)
+		}
+		p = p.Add(dir).Add(geom.Pt(r.NormFloat64()*5, r.NormFloat64()*5))
+		pts[i] = p
+	}
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}
+	m := NewRMF(RMFConfig{Bounds: &bounds})
+	if err := m.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	near, err := m.Predict(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := m.Predict(239)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Contains(near) || !bounds.Contains(far) {
+		t.Errorf("clamped predictions escaped bounds: %v %v", near, far)
+	}
+	nearErr := near.Dist(pts[39])
+	if nearErr > 2000 {
+		t.Errorf("near prediction error %v implausibly large", nearErr)
+	}
+}
+
+func TestRMFRetrospectDegrades(t *testing.T) {
+	pts := linearPath(4, geom.Pt(0, 0), geom.Pt(1, 1))
+	r := NewRMF(RMFConfig{Retrospect: 5})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Retrospect() >= 5 {
+		t.Errorf("retrospect %d did not degrade for 4 points", r.Retrospect())
+	}
+	if _, err := r.Predict(10); err != nil {
+		t.Errorf("degraded RMF cannot predict: %v", err)
+	}
+}
+
+func TestRMFStationaryObject(t *testing.T) {
+	// A stationary object yields identical regression rows: exactly rank
+	// deficient. The ridge must repair it and predict staying put.
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		pts[i] = geom.Pt(4000, 6000)
+	}
+	r := NewRMF(RMFConfig{})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(geom.Pt(4000, 6000)) > 1 {
+		t.Errorf("stationary prediction drifted to %v", got)
+	}
+}
+
+func TestRMFPredictAtCurrentTime(t *testing.T) {
+	pts := linearPath(10, geom.Pt(0, 0), geom.Pt(1, 0))
+	r := NewRMF(RMFConfig{})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pts[9] {
+		t.Errorf("Predict(current) = %v, want %v", got, pts[9])
+	}
+	if _, err := r.Predict(3); err == nil {
+		t.Error("Predict in the past accepted")
+	}
+}
+
+func TestRMFWindowTruncation(t *testing.T) {
+	// Only the trailing Window points may influence the fit.
+	early := linearPath(100, geom.Pt(0, 0), geom.Pt(-50, -50))
+	late := linearPath(30, geom.Pt(1000, 1000), geom.Pt(2, 2))
+	all := append(early, late...)
+	r := NewRMF(RMFConfig{Window: 30})
+	if err := r.Fit(timed(all, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict(len(all) + 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := late[29].Add(geom.Pt(2, 2).Scale(5))
+	if got.Dist(want) > 1 {
+		t.Errorf("windowed fit predicted %v, want ~%v", got, want)
+	}
+}
+
+func TestRMFDivergenceIsClamped(t *testing.T) {
+	// Construct an explosive series: positions doubling each step fit a
+	// recurrence with spectral radius 2, which overflows when iterated
+	// hundreds of steps. The clamp must keep the output finite.
+	pts := make([]geom.Point, 20)
+	v := 1e-3
+	for i := range pts {
+		pts[i] = geom.Pt(v, v)
+		v *= 2
+	}
+	bounds := geom.Rect{Min: geom.Pt(-1e4, -1e4), Max: geom.Pt(1e4, 1e4)}
+	r := NewRMF(RMFConfig{Bounds: &bounds})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsFinite() || !bounds.Contains(got) {
+		t.Errorf("divergent prediction %v not clamped", got)
+	}
+}
+
+func TestLinearVsRMFOnNoisyLinear(t *testing.T) {
+	// Sanity: on noisy linear motion both models stay in the same error
+	// ballpark over a short horizon.
+	r := rand.New(rand.NewSource(77))
+	pts := linearPath(30, geom.Pt(0, 0), geom.Pt(10, 5))
+	for i := range pts {
+		pts[i] = pts[i].Add(geom.Pt(r.NormFloat64(), r.NormFloat64()))
+	}
+	lin := NewLinear(nil)
+	rmf := NewRMF(RMFConfig{})
+	if err := lin.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rmf.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	truth := geom.Pt(10*35., 5*35.)
+	lp, _ := lin.Predict(35)
+	rp, _ := rmf.Predict(35)
+	if lp.Dist(truth) > 50 || rp.Dist(truth) > 50 {
+		t.Errorf("short-horizon errors too large: linear %v rmf %v", lp.Dist(truth), rp.Dist(truth))
+	}
+}
+
+func TestRMFAutoRetrospect(t *testing.T) {
+	// Circular motion needs retrospect >= 2; constant motion is happy with
+	// 1. The self-training selection must produce a working model and at
+	// least match the fixed default on the circle.
+	circle := circlePath(60, geom.Pt(0, 0), 100, 0.2)
+	auto := NewRMF(RMFConfig{Retrospect: 8, Window: 120, AutoRetrospect: true})
+	if err := auto.Fit(timed(circle, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if auto.Retrospect() < 1 || auto.Retrospect() > 8 {
+		t.Fatalf("selected retrospect %d out of range", auto.Retrospect())
+	}
+	full := circlePath(80, geom.Pt(0, 0), 100, 0.2)
+	var autoErr float64
+	for dt := 1; dt <= 10; dt++ {
+		p, err := auto.Predict(59 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		autoErr += p.Dist(full[59+dt])
+	}
+	if autoErr > 50 {
+		t.Errorf("auto-retrospect RMF error %v too large on noiseless circle", autoErr)
+	}
+}
+
+func TestRMFAutoRetrospectTinyWindow(t *testing.T) {
+	// With only three points the holdout split degenerates; Fit must still
+	// succeed via the fallback path and produce finite predictions. (A
+	// retrospect-1 recurrence cannot represent affine motion, so exactness
+	// is not expected here — only robustness.)
+	pts := linearPath(3, geom.Pt(0, 0), geom.Pt(2, 1))
+	r := NewRMF(RMFConfig{AutoRetrospect: true})
+	if err := r.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Predict(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsFinite() {
+		t.Errorf("tiny-window auto fit predicted non-finite %v", got)
+	}
+}
+
+func TestRMFAutoRetrospectCostExceedsFixed(t *testing.T) {
+	// The paper's cost model: self-training RMF is the expensive unit.
+	// Sanity-check the auto path really does more work by comparing the
+	// number of solve operations indirectly: it must at minimum not fail
+	// and produce the same-or-better holdout error than the worst fixed f.
+	pts := circlePath(60, geom.Pt(500, 500), 200, 0.15)
+	truth := circlePath(70, geom.Pt(500, 500), 200, 0.15)
+	auto := NewRMF(RMFConfig{Retrospect: 6, Window: 120, AutoRetrospect: true})
+	if err := auto.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for f := 1; f <= 6; f++ {
+		fixed := NewRMF(RMFConfig{Retrospect: f, Window: 120})
+		if err := fixed.Fit(timed(pts, 0)); err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for dt := 1; dt <= 8; dt++ {
+			p, _ := fixed.Predict(59 + dt)
+			e += p.Dist(truth[59+dt])
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	var autoErr float64
+	for dt := 1; dt <= 8; dt++ {
+		p, _ := auto.Predict(59 + dt)
+		autoErr += p.Dist(truth[59+dt])
+	}
+	if autoErr > worst {
+		t.Errorf("auto retrospect error %v worse than worst fixed %v", autoErr, worst)
+	}
+}

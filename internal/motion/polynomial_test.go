@@ -1,0 +1,125 @@
+package motion
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpm/internal/geom"
+)
+
+func TestPolynomialExactOnQuadratic(t *testing.T) {
+	// Positions on x(t)=t², y(t)=3t: the fit must recover them exactly.
+	pts := make([]geom.Point, 12)
+	for i := range pts {
+		s := float64(i)
+		pts[i] = geom.Pt(s*s, 3*s)
+	}
+	p := NewPolynomial(nil)
+	if err := p.Fit(timed(pts, 100)); err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []int{1, 5, 10} {
+		got, err := p.Predict(111 + dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := float64(11 + dt)
+		want := geom.Pt(s*s, 3*s)
+		if got.Dist(want) > 1e-4 {
+			t.Errorf("Predict(+%d) = %v, want %v", dt, got, want)
+		}
+	}
+}
+
+func TestPolynomialExactOnLinear(t *testing.T) {
+	pts := linearPath(10, geom.Pt(5, 5), geom.Pt(2, -1))
+	p := NewPolynomial(nil)
+	if err := p.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Pt(5+2*14, 5-14)
+	if got.Dist(want) > 1e-6 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestPolynomialTwoPointsDegradesToLine(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}
+	p := NewPolynomial(nil)
+	if err := p.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(geom.Pt(9, 12)) > 1e-9 {
+		t.Errorf("two-point fit predicted %v, want (9,12)", got)
+	}
+}
+
+func TestPolynomialClampsAndValidates(t *testing.T) {
+	bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}
+	p := NewPolynomial(&bounds)
+	if _, err := p.Predict(5); err != ErrNotFitted {
+		t.Errorf("Predict before Fit: %v", err)
+	}
+	pts := make([]geom.Point, 8)
+	for i := range pts {
+		s := float64(i)
+		pts[i] = geom.Pt(10*s*s, 50) // accelerating out of bounds
+	}
+	if err := p.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Predict(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounds.Contains(got) {
+		t.Errorf("prediction %v escaped bounds", got)
+	}
+	if err := p.Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+}
+
+func TestPolynomialBeatsLinearOnCurvedMotion(t *testing.T) {
+	// Short-horizon prediction on a parabola: the quadratic model wins.
+	r := rand.New(rand.NewSource(4))
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		s := float64(i)
+		pts[i] = geom.Pt(100*s, 2*s*s).Add(geom.Pt(r.NormFloat64(), r.NormFloat64()))
+	}
+	poly := NewPolynomial(nil)
+	lin := NewLinear(nil)
+	if err := poly.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lin.Fit(timed(pts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var polyErr, linErr float64
+	for dt := 1; dt <= 8; dt++ {
+		s := float64(19 + dt)
+		truth := geom.Pt(100*s, 2*s*s)
+		pp, _ := poly.Predict(19 + dt)
+		lp, _ := lin.Predict(19 + dt)
+		polyErr += pp.Dist(truth)
+		linErr += lp.Dist(truth)
+	}
+	if polyErr >= linErr {
+		t.Errorf("polynomial error %v not below linear %v on curved motion", polyErr, linErr)
+	}
+}
+
+func TestPolynomialName(t *testing.T) {
+	if NewPolynomial(nil).Name() != "Polynomial" {
+		t.Error("wrong name")
+	}
+}

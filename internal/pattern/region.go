@@ -1,0 +1,227 @@
+// Package pattern implements §IV of the paper: trajectory-pattern discovery.
+//
+// The discovery pipeline has two stages. First, DBSCAN finds the frequent
+// regions R_t^j — dense clusters inside each time-offset group G_t — where
+// Eps and MinPts play the role of the support threshold in frequent-itemset
+// mining. Second, a modified Apriori derives trajectory patterns
+//
+//	R_{t1}^{j1} ∧ ... ∧ R_{tm}^{jm} --c--> R_{tn}^{jn},  t1 < ... < tm < tn
+//
+// from the regions, applying the paper's two pruning rules: patterns must be
+// monotonically increasing in time offset, and consequences hold exactly one
+// region (Theorem 1 shows multi-region consequences are never selected).
+//
+// Internally the miner works on a vertical representation: each frequent
+// region carries a bitmap of the sub-trajectories that visit it, so the
+// support of any candidate itemset is the popcount of an AND of bitmaps.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"hpm/internal/bitkey"
+	"hpm/internal/cluster"
+	"hpm/internal/geom"
+	"hpm/internal/trajectory"
+)
+
+// RegionID identifies a frequent region. IDs are dense, assigned in
+// ascending (time offset, cluster index) order, which makes the region-key
+// hash of §V-A (id -> bit 2^id) honour Property 1: a higher bit position in
+// a premise key always means a time offset closer to the consequence.
+type RegionID int
+
+// FrequentRegion is a dense cluster R_t^j of the object's locations at time
+// offset t: a place the object appears at that offset often enough to
+// matter.
+type FrequentRegion struct {
+	ID      RegionID
+	Offset  int        // time offset t within the period
+	Index   int        // j: ordinal among the regions at this offset
+	Center  geom.Point // centroid of the member locations
+	MBR     geom.Rect  // bounding box of the member locations
+	Support int        // number of sub-trajectories visiting the region
+
+	// visitors has one bit per sub-trajectory (1-based position j+1 for
+	// sub-trajectory j); it is the vertical mining representation.
+	visitors bitkey.Key
+}
+
+// Visits reports whether sub-trajectory j visits this region.
+func (fr *FrequentRegion) Visits(j int) bool { return fr.visitors.Bit(j + 1) }
+
+// String implements fmt.Stringer using the paper's R_t^j notation.
+func (fr *FrequentRegion) String() string {
+	return fmt.Sprintf("R_%d^%d", fr.Offset, fr.Index)
+}
+
+// RegionTable is the region-key table of §V-A: every frequent region sorted
+// by time offset with a dense id, plus the per-offset index needed to map a
+// query location back to the region it falls in.
+type RegionTable struct {
+	regions  []*FrequentRegion
+	byOffset map[int][]*FrequentRegion
+	eps      float64
+	numSubs  int
+}
+
+// DiscoverRegions runs DBSCAN over every time-offset group and assembles
+// the region table. groups must all have the same number of points (one per
+// sub-trajectory), as produced by trajectory.Groups.
+func DiscoverRegions(groups []trajectory.Group, eps float64, minPts int) *RegionTable {
+	rt := &RegionTable{byOffset: make(map[int][]*FrequentRegion), eps: eps}
+	if len(groups) == 0 {
+		return rt
+	}
+	rt.numSubs = len(groups[0].Points)
+	for _, g := range groups {
+		if len(g.Points) != rt.numSubs {
+			panic(fmt.Sprintf("pattern: group %d has %d points, want %d", g.Offset, len(g.Points), rt.numSubs))
+		}
+		res := cluster.DBSCAN(g.Points, eps, minPts)
+		for c := 0; c < res.NumClusters; c++ {
+			members := res.Members(c)
+			pts := make([]geom.Point, len(members))
+			visitors := bitkey.New(rt.numSubs)
+			for i, j := range members {
+				pts[i] = g.Points[j]
+				visitors.Set(j + 1)
+			}
+			fr := &FrequentRegion{
+				ID:       RegionID(len(rt.regions)),
+				Offset:   g.Offset,
+				Index:    c,
+				Center:   geom.Centroid(pts),
+				MBR:      geom.RectFromPoints(pts),
+				Support:  len(members),
+				visitors: visitors,
+			}
+			rt.regions = append(rt.regions, fr)
+			rt.byOffset[g.Offset] = append(rt.byOffset[g.Offset], fr)
+		}
+	}
+	// trajectory.Groups emits offsets in ascending order, so ids are already
+	// sorted by (offset, index); guard against future callers that are not.
+	if !sort.SliceIsSorted(rt.regions, func(a, b int) bool {
+		ra, rb := rt.regions[a], rt.regions[b]
+		if ra.Offset != rb.Offset {
+			return ra.Offset < rb.Offset
+		}
+		return ra.Index < rb.Index
+	}) {
+		sort.Slice(rt.regions, func(a, b int) bool {
+			ra, rb := rt.regions[a], rt.regions[b]
+			if ra.Offset != rb.Offset {
+				return ra.Offset < rb.Offset
+			}
+			return ra.Index < rb.Index
+		})
+		for i, fr := range rt.regions {
+			fr.ID = RegionID(i)
+		}
+	}
+	return rt
+}
+
+// Len returns the number of frequent regions (the premise-key length l_p).
+func (rt *RegionTable) Len() int { return len(rt.regions) }
+
+// NumSubTrajectories returns how many sub-trajectories the table was mined
+// from.
+func (rt *RegionTable) NumSubTrajectories() int { return rt.numSubs }
+
+// Eps returns the DBSCAN radius used at discovery time; query encoding uses
+// it as the slack for matching a location to a region.
+func (rt *RegionTable) Eps() float64 { return rt.eps }
+
+// Region returns the frequent region with the given id. It panics on an
+// unknown id.
+func (rt *RegionTable) Region(id RegionID) *FrequentRegion {
+	if int(id) < 0 || int(id) >= len(rt.regions) {
+		panic(fmt.Sprintf("pattern: region id %d out of %d", id, len(rt.regions)))
+	}
+	return rt.regions[id]
+}
+
+// Regions returns all frequent regions ordered by id. Callers must not
+// mutate the slice.
+func (rt *RegionTable) Regions() []*FrequentRegion { return rt.regions }
+
+// AtOffset returns the frequent regions at time offset t (possibly none).
+func (rt *RegionTable) AtOffset(t int) []*FrequentRegion { return rt.byOffset[t] }
+
+// Locate maps a location observed at time offset t to the frequent region
+// it belongs to: first by bounding-box containment, then — to tolerate
+// query noise — the nearest region whose center lies within Eps. The
+// boolean is false when no region at that offset matches.
+func (rt *RegionTable) Locate(t int, p geom.Point) (*FrequentRegion, bool) {
+	var best *FrequentRegion
+	bestDist := rt.eps
+	for _, fr := range rt.byOffset[t] {
+		if fr.MBR.Contains(p) {
+			return fr, true
+		}
+		if d := fr.Center.Dist(p); d <= bestDist {
+			best, bestDist = fr, d
+		}
+	}
+	return best, best != nil
+}
+
+// Absorb extends the table with newly arrived sub-trajectories (§V-B
+// dynamic data): each new location is assigned to the frequent region it
+// falls in (by Locate), widening every region's visitor bitmap and support
+// accordingly. The region set itself is fixed — locations in previously
+// unseen dense areas stay unassigned until a full retrain, matching the
+// paper's design where the region table is built once from the historical
+// data and the insertion algorithm only adds patterns.
+//
+// groups must cover the same offsets as the original discovery, with one
+// point per new sub-trajectory.
+func (rt *RegionTable) Absorb(groups []trajectory.Group) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	added := len(groups[0].Points)
+	for _, g := range groups {
+		if len(g.Points) != added {
+			return fmt.Errorf("pattern: Absorb group %d has %d points, want %d", g.Offset, len(g.Points), added)
+		}
+	}
+	newN := rt.numSubs + added
+	for _, fr := range rt.regions {
+		fr.visitors = fr.visitors.Grown(newN)
+	}
+	for _, g := range groups {
+		for j, p := range g.Points {
+			if fr, ok := rt.Locate(g.Offset, p); ok {
+				pos := rt.numSubs + j + 1
+				if !fr.visitors.Bit(pos) {
+					fr.visitors.Set(pos)
+					fr.Support++
+				}
+			}
+		}
+	}
+	rt.numSubs = newN
+	return nil
+}
+
+// RegionKey returns the §V-A region key of a frequent region: an l_p-bit
+// key with the single bit 2^id set (the paper's hash function).
+func (rt *RegionTable) RegionKey(id RegionID) bitkey.Key {
+	rt.Region(id) // bounds check
+	return bitkey.FromPositions(len(rt.regions), int(id)+1)
+}
+
+// PremiseKey returns the OR of the region keys of ids, the premise key of a
+// trajectory pattern whose premise visits those regions.
+func (rt *RegionTable) PremiseKey(ids []RegionID) bitkey.Key {
+	k := bitkey.New(len(rt.regions))
+	for _, id := range ids {
+		rt.Region(id) // bounds check
+		k.Set(int(id) + 1)
+	}
+	return k
+}

@@ -1,0 +1,268 @@
+package pattern
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hpm/internal/bitkey"
+	"hpm/internal/geom"
+)
+
+// Binary serialization for the mined model state: the region table and the
+// pattern list. The format is little-endian with uvarint integers and a
+// per-section magic, so a truncated or mixed-up stream fails loudly instead
+// of producing a silently wrong model.
+
+const (
+	regionTableMagic = "HPMR"
+	patternsMagic    = "HPMP"
+)
+
+// sink wraps a writer with latched errors so serialization code can stay
+// linear.
+type sink struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (s *sink) bytes(b []byte) {
+	if s.err == nil {
+		_, s.err = s.w.Write(b)
+	}
+}
+
+func (s *sink) uvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	s.bytes(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func (s *sink) varint(v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	s.bytes(buf[:binary.PutVarint(buf[:], v)])
+}
+
+func (s *sink) float(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	s.bytes(buf[:])
+}
+
+func (s *sink) key(k bitkey.Key) {
+	b, err := k.MarshalBinary()
+	if s.err == nil {
+		s.err = err
+	}
+	s.uvarint(uint64(len(b)))
+	s.bytes(b)
+}
+
+func (s *sink) flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// source wraps a reader with latched errors.
+type source struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (s *source) bytes(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(s.r, b); err != nil {
+		s.err = err
+		return nil
+	}
+	return b
+}
+
+func (s *source) uvarint() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(s.r)
+	if err != nil {
+		s.err = err
+	}
+	return v
+}
+
+func (s *source) varint() int64 {
+	if s.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(s.r)
+	if err != nil {
+		s.err = err
+	}
+	return v
+}
+
+func (s *source) float() float64 {
+	b := s.bytes(8)
+	if s.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (s *source) key() bitkey.Key {
+	n := s.uvarint()
+	b := s.bytes(int(n))
+	if s.err != nil {
+		return bitkey.Key{}
+	}
+	var k bitkey.Key
+	if err := k.UnmarshalBinary(b); err != nil {
+		s.err = err
+	}
+	return k
+}
+
+func (s *source) magic(want string) {
+	b := s.bytes(len(want))
+	if s.err == nil && string(b) != want {
+		s.err = fmt.Errorf("pattern: bad section magic %q, want %q", b, want)
+	}
+}
+
+// WriteBinary serializes the region table, including the visitor bitmaps
+// the miner needs for incremental updates after a reload.
+func (rt *RegionTable) WriteBinary(w io.Writer) error {
+	s := &sink{w: bufio.NewWriter(w)}
+	s.bytes([]byte(regionTableMagic))
+	s.float(rt.eps)
+	s.uvarint(uint64(rt.numSubs))
+	s.uvarint(uint64(len(rt.regions)))
+	for _, fr := range rt.regions {
+		s.uvarint(uint64(fr.Offset))
+		s.uvarint(uint64(fr.Index))
+		s.float(fr.Center.X)
+		s.float(fr.Center.Y)
+		s.float(fr.MBR.Min.X)
+		s.float(fr.MBR.Min.Y)
+		s.float(fr.MBR.Max.X)
+		s.float(fr.MBR.Max.Y)
+		s.uvarint(uint64(fr.Support))
+		s.key(fr.visitors)
+	}
+	return s.flush()
+}
+
+// ReadRegionTable deserializes a region table written by WriteBinary.
+func ReadRegionTable(r io.Reader) (*RegionTable, error) {
+	s := &source{r: bufio.NewReader(r)}
+	s.magic(regionTableMagic)
+	rt := &RegionTable{byOffset: make(map[int][]*FrequentRegion)}
+	rt.eps = s.float()
+	rt.numSubs = int(s.uvarint())
+	count := int(s.uvarint())
+	if s.err != nil {
+		return nil, s.err
+	}
+	if count < 0 || count > 1<<26 {
+		return nil, fmt.Errorf("pattern: implausible region count %d", count)
+	}
+	for i := 0; i < count; i++ {
+		fr := &FrequentRegion{ID: RegionID(i)}
+		fr.Offset = int(s.uvarint())
+		fr.Index = int(s.uvarint())
+		fr.Center = geom.Pt(s.float(), s.float())
+		fr.MBR = geom.Rect{
+			Min: geom.Pt(s.float(), s.float()),
+			Max: geom.Pt(s.float(), s.float()),
+		}
+		fr.Support = int(s.uvarint())
+		fr.visitors = s.key()
+		if s.err != nil {
+			return nil, s.err
+		}
+		if fr.visitors.Len() != rt.numSubs {
+			return nil, fmt.Errorf("pattern: region %d visitor length %d != %d subs", i, fr.visitors.Len(), rt.numSubs)
+		}
+		rt.regions = append(rt.regions, fr)
+		rt.byOffset[fr.Offset] = append(rt.byOffset[fr.Offset], fr)
+	}
+	return rt, s.err
+}
+
+// WritePatterns serializes a pattern list against a known region universe.
+func WritePatterns(w io.Writer, patterns []Pattern) error {
+	s := &sink{w: bufio.NewWriter(w)}
+	s.bytes([]byte(patternsMagic))
+	s.uvarint(uint64(len(patterns)))
+	for _, p := range patterns {
+		s.uvarint(uint64(len(p.Premise)))
+		for _, id := range p.Premise {
+			s.varint(int64(id))
+		}
+		s.varint(int64(p.Consequence))
+		s.float(p.Confidence)
+		s.uvarint(uint64(p.Support))
+	}
+	return s.flush()
+}
+
+// ReadPatterns deserializes a pattern list written by WritePatterns and
+// validates every region id against rt.
+func ReadPatterns(r io.Reader, rt *RegionTable) ([]Pattern, error) {
+	s := &source{r: bufio.NewReader(r)}
+	s.magic(patternsMagic)
+	count := int(s.uvarint())
+	if s.err != nil {
+		return nil, s.err
+	}
+	if count < 0 || count > 1<<28 {
+		return nil, fmt.Errorf("pattern: implausible pattern count %d", count)
+	}
+	checkID := func(id int64) (RegionID, error) {
+		if id < 0 || int(id) >= rt.Len() {
+			return 0, fmt.Errorf("pattern: region id %d out of %d", id, rt.Len())
+		}
+		return RegionID(id), nil
+	}
+	patterns := make([]Pattern, 0, count)
+	for i := 0; i < count; i++ {
+		var p Pattern
+		premLen := int(s.uvarint())
+		if s.err != nil {
+			return nil, s.err
+		}
+		if premLen < 0 || premLen > 64 {
+			return nil, fmt.Errorf("pattern: implausible premise length %d", premLen)
+		}
+		for j := 0; j < premLen; j++ {
+			id, err := checkID(s.varint())
+			if s.err != nil {
+				return nil, s.err
+			}
+			if err != nil {
+				return nil, err
+			}
+			p.Premise = append(p.Premise, id)
+		}
+		cons, err := checkID(s.varint())
+		if s.err != nil {
+			return nil, s.err
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Consequence = cons
+		p.Confidence = s.float()
+		p.Support = int(s.uvarint())
+		if s.err != nil {
+			return nil, s.err
+		}
+		patterns = append(patterns, p)
+	}
+	return patterns, nil
+}

@@ -1,0 +1,261 @@
+// Package svgplot renders line charts as standalone SVG documents using
+// only the standard library. cmd/hpmbench uses it to emit the paper's
+// figures as images next to the text tables.
+//
+// The renderer covers what the evaluation needs: multiple named series
+// over a shared x axis, automatic "nice" tick selection, an optional
+// logarithmic x axis (pattern-count sweeps span two orders of magnitude),
+// a legend, and data-point markers.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart describes one plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX draws the x axis logarithmically; it requires all x > 0.
+	LogX bool
+	// Width and Height are the SVG canvas size; zero defaults to 640x420.
+	Width, Height int
+}
+
+// Palette of series colors (colorblind-safe Okabe-Ito subset).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 55.0
+)
+
+// Render writes the chart as a complete SVG document.
+func Render(c Chart, w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: chart %q has no series", c.Title)
+	}
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+	plotW := width - marginLeft - marginRight
+	plotH := height - marginTop - marginBottom
+
+	xmin, xmax, ymin, ymax, err := extents(c)
+	if err != nil {
+		return err
+	}
+
+	xform := func(x float64) float64 { return x }
+	if c.LogX {
+		if xmin <= 0 {
+			return fmt.Errorf("svgplot: log x axis requires positive x, got %v", xmin)
+		}
+		xform = math.Log10
+	}
+	txmin, txmax := xform(xmin), xform(xmax)
+	if txmax == txmin {
+		txmax = txmin + 1
+	}
+	// Always give y headroom and include zero when close.
+	if ymin > 0 && ymin < 0.25*ymax {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	ypad := 0.05 * (ymax - ymin)
+	ymax += ypad
+
+	px := func(x float64) float64 {
+		return marginLeft + plotW*(xform(x)-txmin)/(txmax-txmin)
+	}
+	py := func(y float64) float64 {
+		return marginTop + plotH*(1-(y-ymin)/(ymax-ymin))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif" font-size="12">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Title.
+	fmt.Fprintf(&sb, `<text x="%g" y="22" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n",
+		width/2, escape(c.Title))
+
+	// Gridlines + ticks.
+	for _, yt := range niceTicks(ymin, ymax, 6) {
+		y := py(yt)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-8, y, formatTick(yt))
+	}
+	for _, xt := range xTicks(c, xmin, xmax) {
+		x := px(xt)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			x, marginTop, x, height-marginBottom)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginBottom+18, formatTick(xt))
+	}
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+	}
+
+	// Legend (top-right inside the plot).
+	legendX := width - marginRight - 150
+	for si, s := range c.Series {
+		y := marginTop + 14 + float64(si)*16
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			legendX, y, legendX+22, y, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" dominant-baseline="middle">%s</text>`+"\n",
+			legendX+28, y, escape(s.Name))
+	}
+
+	sb.WriteString("</svg>\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}
+
+// extents returns the data ranges; it errors on empty or non-finite data.
+func extents(c Chart) (xmin, xmax, ymin, ymax float64, err error) {
+	first := true
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("svgplot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				return 0, 0, 0, 0, fmt.Errorf("svgplot: series %q has non-finite point %d", s.Name, i)
+			}
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if first {
+		return 0, 0, 0, 0, fmt.Errorf("svgplot: chart %q has no points", c.Title)
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// xTicks chooses x tick positions: the decades for log axes, nice linear
+// ticks otherwise.
+func xTicks(c Chart, xmin, xmax float64) []float64 {
+	if !c.LogX {
+		return niceTicks(xmin, xmax, 7)
+	}
+	var ticks []float64
+	for d := math.Floor(math.Log10(xmin)); d <= math.Ceil(math.Log10(xmax)); d++ {
+		v := math.Pow(10, d)
+		if v >= xmin*0.999 && v <= xmax*1.001 {
+			ticks = append(ticks, v)
+		}
+	}
+	if len(ticks) < 2 {
+		return []float64{xmin, xmax}
+	}
+	return ticks
+}
+
+// niceTicks returns up to n+1 round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	step := mag
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if mag*m >= rawStep {
+			step = mag * m
+			break
+		}
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly (1.5K, 2M, 0.25, 42).
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(v/1e6) + "M"
+	case av >= 1e3:
+		return trimZero(v/1e3) + "K"
+	case av == 0:
+		return "0"
+	case av < 1:
+		return fmt.Sprintf("%.2g", v)
+	default:
+		return trimZero(v)
+	}
+}
+
+func trimZero(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// escape makes text safe for SVG/XML content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

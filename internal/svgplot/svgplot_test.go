@@ -1,0 +1,151 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:  "Demo & <Chart>",
+		XLabel: "x axis",
+		YLabel: "y axis",
+		Series: []Series{
+			{Name: "HPM", X: []float64{20, 40, 60}, Y: []float64{100, 120, 110}},
+			{Name: "RMF", X: []float64{20, 40, 60}, Y: []float64{300, 900, 2500}},
+		},
+	}
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(demoChart(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("not well-formed XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"Demo &amp; &lt;Chart&gt;", // escaped title
+		"HPM", "RMF", "x axis", "y axis",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two series: two polylines, distinct colors.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	if strings.Count(out, "#0072B2") < 2 || strings.Count(out, "#D55E00") < 2 {
+		t.Error("series colors missing")
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	c := Chart{
+		Title: "log", XLabel: "n", YLabel: "t",
+		LogX: true,
+		Series: []Series{{
+			Name: "scan",
+			X:    []float64{1000, 10000, 100000},
+			Y:    []float64{8, 87, 1218},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Render(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Decade ticks appear as 1K, 10K, 100K.
+	for _, want := range []string{">1K<", ">10K<", ">100K<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log axis missing tick %q", want)
+		}
+	}
+	// Log axis with non-positive x errors.
+	c.Series[0].X[0] = 0
+	if err := Render(c, &buf); err == nil {
+		t.Error("log axis accepted x = 0")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(Chart{Title: "empty"}, &buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := Render(c, &buf); err == nil {
+		t.Error("ragged series accepted")
+	}
+	c = Chart{Series: []Series{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if err := Render(c, &buf); err == nil {
+		t.Error("NaN accepted")
+	}
+	c = Chart{Series: []Series{{Name: "none"}}}
+	if err := Render(c, &buf); err == nil {
+		t.Error("pointless chart accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point and constant series must still render.
+	for _, c := range []Chart{
+		{Title: "pt", Series: []Series{{Name: "a", X: []float64{5}, Y: []float64{7}}}},
+		{Title: "flat", Series: []Series{{Name: "a", X: []float64{1, 2, 3}, Y: []float64{4, 4, 4}}}},
+	} {
+		var buf bytes.Buffer
+		if err := Render(c, &buf); err != nil {
+			t.Errorf("%s: %v", c.Title, err)
+		}
+		if !strings.Contains(buf.String(), "</svg>") {
+			t.Errorf("%s: incomplete document", c.Title)
+		}
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Errorf("ticks escape range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks: %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := map[float64]string{
+		0:       "0",
+		42:      "42",
+		1500:    "1.5K",
+		100000:  "100K",
+		2000000: "2M",
+		0.25:    "0.25",
+	}
+	for v, want := range tests {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

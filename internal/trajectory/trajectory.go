@@ -1,0 +1,200 @@
+// Package trajectory models object movement histories and the periodic
+// decomposition the pattern-mining stage is built on.
+//
+// A trajectory is a sequence (l_0, l_1, ..., l_{n-1}) of locations sampled
+// at consecutive integer timestamps. Given a period T (the number of
+// timestamps after which a pattern may re-appear — "a day" for commuter
+// traffic, "a year" for migration), the trajectory decomposes into
+// floor(n/T) sub-trajectories, and all locations that share the same time
+// offset t in [0,T) are gathered into one group G_t. Dense clusters inside
+// each G_t become the frequent regions of §IV.
+package trajectory
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hpm/internal/geom"
+)
+
+// Trajectory is a movement history with one location per integer timestamp,
+// starting at timestamp 0.
+type Trajectory struct {
+	points []geom.Point
+}
+
+// New returns a trajectory over the given locations. The slice is not
+// copied; callers that keep mutating it should pass a copy.
+func New(points []geom.Point) *Trajectory {
+	return &Trajectory{points: points}
+}
+
+// Len returns the number of timestamps covered.
+func (tr *Trajectory) Len() int { return len(tr.points) }
+
+// At returns the location at timestamp t. It panics when t is out of range.
+func (tr *Trajectory) At(t int) geom.Point {
+	if t < 0 || t >= len(tr.points) {
+		panic(fmt.Sprintf("trajectory: timestamp %d out of [0,%d)", t, len(tr.points)))
+	}
+	return tr.points[t]
+}
+
+// Append adds loc as the location of the next timestamp.
+func (tr *Trajectory) Append(loc geom.Point) { tr.points = append(tr.points, loc) }
+
+// Points returns the underlying location slice. Callers must not mutate it.
+func (tr *Trajectory) Points() []geom.Point { return tr.points }
+
+// Slice returns the locations of timestamps [from, to).
+func (tr *Trajectory) Slice(from, to int) []geom.Point {
+	if from < 0 || to > len(tr.points) || from > to {
+		panic(fmt.Sprintf("trajectory: slice [%d,%d) out of [0,%d]", from, to, len(tr.points)))
+	}
+	return tr.points[from:to]
+}
+
+// SubTrajectory is one period-length window of a decomposed trajectory.
+type SubTrajectory struct {
+	// Index is the ordinal of this window: the sub-trajectory covering
+	// timestamps [Index*T, (Index+1)*T).
+	Index  int
+	Points []geom.Point // exactly T locations, offset t at Points[t]
+}
+
+// Decompose splits the trajectory into its complete period-T
+// sub-trajectories, discarding a trailing partial period. It returns an
+// error when period is not positive or the trajectory holds less than one
+// full period.
+func (tr *Trajectory) Decompose(period int) ([]SubTrajectory, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("trajectory: period must be positive, got %d", period)
+	}
+	n := len(tr.points) / period
+	if n == 0 {
+		return nil, fmt.Errorf("trajectory: %d samples shorter than one period %d", len(tr.points), period)
+	}
+	subs := make([]SubTrajectory, n)
+	for i := 0; i < n; i++ {
+		subs[i] = SubTrajectory{Index: i, Points: tr.points[i*period : (i+1)*period]}
+	}
+	return subs, nil
+}
+
+// Group is the multiset G_t of all locations observed at one time offset,
+// annotated with which sub-trajectory contributed each location so the
+// miner can turn cluster memberships back into per-sub-trajectory
+// transactions.
+type Group struct {
+	Offset int          // time offset t in [0, T)
+	Points []geom.Point // Points[j] is sub-trajectory j's location at t
+}
+
+// Groups gathers the per-offset location groups G_0 ... G_{T-1} over the
+// first n sub-trajectories of subs (n = len(subs) when n <= 0 or too
+// large). The experiments sweep the number of sub-trajectories used for
+// mining, so the truncation is first-class here.
+func Groups(subs []SubTrajectory, n int) []Group {
+	if n <= 0 || n > len(subs) {
+		n = len(subs)
+	}
+	if n == 0 {
+		return nil
+	}
+	period := len(subs[0].Points)
+	groups := make([]Group, period)
+	for t := 0; t < period; t++ {
+		g := Group{Offset: t, Points: make([]geom.Point, n)}
+		for j := 0; j < n; j++ {
+			g.Points[j] = subs[j].Points[t]
+		}
+		groups[t] = g
+	}
+	return groups
+}
+
+// TimedPoint is a location stamped with its absolute timestamp; predictive
+// queries supply the object's recent movements in this form.
+type TimedPoint struct {
+	T   int
+	Loc geom.Point
+}
+
+// Recent returns the object's last w movements ending at timestamp tc as
+// TimedPoints, the shape predictive queries consume.
+func (tr *Trajectory) Recent(tc, w int) ([]TimedPoint, error) {
+	if tc < 0 || tc >= len(tr.points) {
+		return nil, fmt.Errorf("trajectory: current time %d out of [0,%d)", tc, len(tr.points))
+	}
+	if w <= 0 {
+		return nil, errors.New("trajectory: window must be positive")
+	}
+	from := tc - w + 1
+	if from < 0 {
+		from = 0
+	}
+	out := make([]TimedPoint, 0, tc-from+1)
+	for t := from; t <= tc; t++ {
+		out = append(out, TimedPoint{T: t, Loc: tr.points[t]})
+	}
+	return out, nil
+}
+
+// WriteCSV writes the trajectory as "t,x,y" rows.
+func (tr *Trajectory) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for t, p := range tr.points {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g\n", t, p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "t,x,y" rows previously written by WriteCSV. Timestamps
+// must be consecutive from zero; blank lines and lines starting with '#'
+// are skipped.
+func ReadCSV(r io.Reader) (*Trajectory, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trajectory{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trajectory: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		t, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad timestamp: %v", line, err)
+		}
+		if t != tr.Len() {
+			return nil, fmt.Errorf("trajectory: line %d: timestamp %d, want consecutive %d", line, t, tr.Len())
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad x: %v", line, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: line %d: bad y: %v", line, err)
+		}
+		tr.Append(geom.Pt(x, y))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, errors.New("trajectory: empty input")
+	}
+	return tr, nil
+}

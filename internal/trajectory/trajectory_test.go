@@ -1,0 +1,230 @@
+package trajectory
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hpm/internal/geom"
+)
+
+func linearTrajectory(n int) *Trajectory {
+	tr := &Trajectory{}
+	for t := 0; t < n; t++ {
+		tr.Append(geom.Pt(float64(t), 2*float64(t)))
+	}
+	return tr
+}
+
+func TestLenAndAt(t *testing.T) {
+	tr := linearTrajectory(10)
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if tr.At(3) != geom.Pt(3, 6) {
+		t.Errorf("At(3) = %v, want (3,6)", tr.At(3))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tr := linearTrajectory(5)
+	for _, tt := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", tt)
+				}
+			}()
+			tr.At(tt)
+		}()
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	tr := linearTrajectory(10)
+	subs, err := tr.Decompose(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d sub-trajectories, want 3 (partial period dropped)", len(subs))
+	}
+	for i, s := range subs {
+		if s.Index != i {
+			t.Errorf("sub %d has Index %d", i, s.Index)
+		}
+		if len(s.Points) != 3 {
+			t.Errorf("sub %d has %d points, want 3", i, len(s.Points))
+		}
+		for off, p := range s.Points {
+			want := tr.At(i*3 + off)
+			if p != want {
+				t.Errorf("sub %d offset %d = %v, want %v", i, off, p, want)
+			}
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	tr := linearTrajectory(5)
+	if _, err := tr.Decompose(0); err == nil {
+		t.Error("period 0 accepted")
+	}
+	if _, err := tr.Decompose(-2); err == nil {
+		t.Error("negative period accepted")
+	}
+	if _, err := tr.Decompose(6); err == nil {
+		t.Error("period longer than trajectory accepted")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	tr := linearTrajectory(12)
+	subs, err := tr.Decompose(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Groups(subs, 0)
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	for off, g := range groups {
+		if g.Offset != off {
+			t.Errorf("group %d has Offset %d", off, g.Offset)
+		}
+		if len(g.Points) != 3 {
+			t.Fatalf("group %d has %d points, want 3", off, len(g.Points))
+		}
+		for j, p := range g.Points {
+			if want := tr.At(j*4 + off); p != want {
+				t.Errorf("G_%d[%d] = %v, want %v", off, j, p, want)
+			}
+		}
+	}
+}
+
+func TestGroupsTruncation(t *testing.T) {
+	tr := linearTrajectory(20)
+	subs, _ := tr.Decompose(4) // 5 subs
+	groups := Groups(subs, 2)
+	for _, g := range groups {
+		if len(g.Points) != 2 {
+			t.Fatalf("truncated group has %d points, want 2", len(g.Points))
+		}
+	}
+	// n out of range falls back to all.
+	if got := Groups(subs, 99); len(got[0].Points) != 5 {
+		t.Errorf("oversized n gave %d points, want 5", len(got[0].Points))
+	}
+	if got := Groups(nil, 3); got != nil {
+		t.Errorf("Groups(nil) = %v, want nil", got)
+	}
+}
+
+func TestRecent(t *testing.T) {
+	tr := linearTrajectory(10)
+	got, err := tr.Recent(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d points, want 3", len(got))
+	}
+	for i, tp := range got {
+		wantT := 3 + i
+		if tp.T != wantT || tp.Loc != tr.At(wantT) {
+			t.Errorf("Recent[%d] = %+v, want t=%d", i, tp, wantT)
+		}
+	}
+}
+
+func TestRecentClampsAtStart(t *testing.T) {
+	tr := linearTrajectory(10)
+	got, err := tr.Recent(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].T != 0 || got[1].T != 1 {
+		t.Errorf("Recent near start = %+v", got)
+	}
+}
+
+func TestRecentErrors(t *testing.T) {
+	tr := linearTrajectory(10)
+	if _, err := tr.Recent(-1, 2); err == nil {
+		t.Error("negative tc accepted")
+	}
+	if _, err := tr.Recent(10, 2); err == nil {
+		t.Error("tc past end accepted")
+	}
+	if _, err := tr.Recent(5, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr := &Trajectory{}
+	for i := 0; i < 100; i++ {
+		tr.Append(geom.Pt(r.Float64()*1e4, r.Float64()*1e4))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip length %d, want %d", back.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if back.At(i) != tr.At(i) {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, back.At(i), tr.At(i))
+		}
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n0,1,2\n\n1,3,4\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.At(1) != geom.Pt(3, 4) {
+		t.Errorf("parsed %d points: %v", tr.Len(), tr.Points())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0,1\n",       // missing field
+		"1,1,2\n",     // non-consecutive timestamp
+		"0,x,2\n",     // bad x
+		"0,1,y\n",     // bad y
+		"zero,1,2\n",  // bad t
+		"",            // empty
+		"#only\n\n\n", // effectively empty
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV(%q) accepted bad input", in)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := linearTrajectory(10)
+	s := tr.Slice(2, 5)
+	if len(s) != 3 || s[0] != tr.At(2) || s[2] != tr.At(4) {
+		t.Errorf("Slice = %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad slice bounds did not panic")
+		}
+	}()
+	tr.Slice(5, 2)
+}

@@ -1,0 +1,210 @@
+// Package serve exposes a store.Store as a JSON-over-HTTP API, the shape a
+// tracking backend would embed:
+//
+//	POST /objects/{id}/observe       {"points": [[x, y], ...]}
+//	GET  /objects                    -> {"objects": ["bus-7", ...]}
+//	GET  /objects/{id}/stats         -> object summary
+//	GET  /objects/{id}/predict?tq=N&k=K        (or horizon=H instead of tq)
+//	GET  /objects/{id}/trajectory?from=N&to=M  (predicted path, inclusive)
+//
+// Predictions return the location, the provenance (pattern vs motion), the
+// ranking score, the pattern confidence, and the consequence region's
+// bounding box when a pattern answered.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"hpm"
+	"hpm/store"
+)
+
+// maxObserveBody bounds one observe request (1 MiB of JSON ≈ tens of
+// thousands of points), protecting the server from unbounded payloads.
+const maxObserveBody = 1 << 20
+
+// Handler returns the HTTP handler for the store.
+func Handler(st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /objects", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"objects": st.Objects()})
+	})
+	mux.HandleFunc("POST /objects/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+		handleObserve(st, w, r)
+	})
+	mux.HandleFunc("GET /objects/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		stats, err := st.Stats(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	mux.HandleFunc("GET /objects/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
+		handlePredict(st, w, r)
+	})
+	mux.HandleFunc("GET /objects/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
+		handleTrajectory(st, w, r)
+	})
+	return mux
+}
+
+// observeRequest is the observe body: points as [x, y] pairs.
+type observeRequest struct {
+	Points [][2]float64 `json:"points"`
+}
+
+func handleObserve(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	var req observeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad body: "+err.Error()))
+		return
+	}
+	if len(req.Points) == 0 {
+		writeJSON(w, http.StatusBadRequest, errBody("no points"))
+		return
+	}
+	pts := make([]hpm.Point, len(req.Points))
+	for i, xy := range req.Points {
+		pts[i] = hpm.Pt(xy[0], xy[1])
+	}
+	id := r.PathValue("id")
+	if err := st.ObserveBatch(id, pts); err != nil {
+		writeError(w, err)
+		return
+	}
+	now, _ := st.Now(id)
+	stats, _ := st.Stats(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"now":     now,
+		"trained": stats.Trained,
+	})
+}
+
+// predictionJSON is the wire form of one prediction.
+type predictionJSON struct {
+	X          float64     `json:"x"`
+	Y          float64     `json:"y"`
+	Source     string      `json:"source"`
+	Score      float64     `json:"score"`
+	Confidence float64     `json:"confidence"`
+	Region     *regionJSON `json:"region,omitempty"`
+}
+
+type regionJSON struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+func toJSON(p hpm.Prediction) predictionJSON {
+	out := predictionJSON{
+		X:          p.Location.X,
+		Y:          p.Location.Y,
+		Source:     p.Source.String(),
+		Score:      p.Score,
+		Confidence: p.Confidence,
+	}
+	if p.Source == hpm.SourcePattern {
+		out.Region = &regionJSON{
+			MinX: p.Extent.Min.X, MinY: p.Extent.Min.Y,
+			MaxX: p.Extent.Max.X, MaxY: p.Extent.Max.Y,
+		}
+	}
+	return out
+}
+
+func handlePredict(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	k := intParam(q.Get("k"), 1)
+	tq := intParam(q.Get("tq"), -1)
+	if h := intParam(q.Get("horizon"), -1); h > 0 {
+		now, err := st.Now(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		tq = now + h
+	}
+	if tq < 0 {
+		writeJSON(w, http.StatusBadRequest, errBody("need tq or horizon"))
+		return
+	}
+	preds, err := st.Predict(id, tq, k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]predictionJSON, len(preds))
+	for i, p := range preds {
+		out[i] = toJSON(p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tq": tq, "predictions": out})
+}
+
+func handleTrajectory(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	from := intParam(q.Get("from"), -1)
+	to := intParam(q.Get("to"), -1)
+	if from < 0 || to < from {
+		writeJSON(w, http.StatusBadRequest, errBody("need from <= to"))
+		return
+	}
+	if to-from > 10000 {
+		writeJSON(w, http.StatusBadRequest, errBody("range too large"))
+		return
+	}
+	preds, err := st.PredictRange(id, from, to)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := make([]predictionJSON, len(preds))
+	for i, p := range preds {
+		out[i] = toJSON(p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"from": from, "to": to, "predictions": out})
+}
+
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, store.ErrUnknownObject):
+		status = http.StatusNotFound
+	case errors.Is(err, store.ErrUntrained):
+		status = http.StatusConflict
+	default:
+		// Invalid query times and similar caller mistakes read as 400s.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errBody(err.Error()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode error here means the
+	// client went away, which needs no handling.
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hpm"
+	"hpm/store"
+)
+
+const period = 60
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.New(store.Options{
+		Config:          hpm.Config{Period: period},
+		MinTrainPeriods: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(st))
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func observeBody(t *testing.T, pts []hpm.Point) *bytes.Buffer {
+	t.Helper()
+	pairs := make([][2]float64, len(pts))
+	for i, p := range pts {
+		pairs[i] = [2]float64{p.X, p.Y}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(map[string]any{"points": pairs}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestObserveAndPredictEndToEnd(t *testing.T) {
+	srv, _ := testServer(t)
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 1)
+	spec.Period = period
+	spec.SubTrajectories = 5
+	tr := hpm.GenerateDataset(spec)
+
+	resp, err := http.Post(srv.URL+"/objects/bus-7/observe", "application/json",
+		observeBody(t, tr.Points()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+	var ob map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if ob["trained"] != true {
+		t.Fatalf("not trained after 5 periods: %v", ob)
+	}
+	now := int(ob["now"].(float64))
+	if now != tr.Len()-1 {
+		t.Fatalf("now = %d, want %d", now, tr.Len()-1)
+	}
+
+	// List.
+	list := getJSON(t, srv.URL+"/objects", http.StatusOK)
+	objs := list["objects"].([]any)
+	if len(objs) != 1 || objs[0] != "bus-7" {
+		t.Fatalf("objects = %v", objs)
+	}
+
+	// Stats.
+	stats := getJSON(t, srv.URL+"/objects/bus-7/stats", http.StatusOK)
+	if stats["Trained"] != true || stats["Patterns"].(float64) == 0 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	// Predict by horizon.
+	pred := getJSON(t, fmt.Sprintf("%s/objects/bus-7/predict?horizon=20&k=2", srv.URL), http.StatusOK)
+	preds := pred["predictions"].([]any)
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	first := preds[0].(map[string]any)
+	if first["source"] != "pattern" && first["source"] != "motion" {
+		t.Errorf("source = %v", first["source"])
+	}
+	if first["source"] == "pattern" && first["region"] == nil {
+		t.Error("pattern prediction missing region extent")
+	}
+
+	// Predict by absolute tq.
+	pred = getJSON(t, fmt.Sprintf("%s/objects/bus-7/predict?tq=%d", srv.URL, now+10), http.StatusOK)
+	if int(pred["tq"].(float64)) != now+10 {
+		t.Errorf("tq echo = %v", pred["tq"])
+	}
+
+	// Trajectory range.
+	traj := getJSON(t, fmt.Sprintf("%s/objects/bus-7/trajectory?from=%d&to=%d", srv.URL, now+1, now+10), http.StatusOK)
+	if got := len(traj["predictions"].([]any)); got != 10 {
+		t.Errorf("trajectory returned %d points, want 10", got)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	srv, st := testServer(t)
+
+	// Unknown object: 404.
+	getJSON(t, srv.URL+"/objects/ghost/predict?tq=10", http.StatusNotFound)
+	getJSON(t, srv.URL+"/objects/ghost/stats", http.StatusNotFound)
+
+	// Known but untrained: 409.
+	if err := st.Observe("young", hpm.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+"/objects/young/predict?tq=10", http.StatusConflict)
+
+	// Missing parameters: 400.
+	getJSON(t, srv.URL+"/objects/young/predict", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/objects/young/trajectory?from=9&to=3", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/objects/young/trajectory?from=1&to=999999", http.StatusBadRequest)
+
+	// Bad observe bodies: 400.
+	for _, body := range []string{"", "{}", `{"points": []}`, `{"nope": 1}`, "not json"} {
+		resp, err := http.Post(srv.URL+"/objects/x/observe", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Query time in the past: 400.
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 2)
+	spec.Period = period
+	spec.SubTrajectories = 4
+	tr := hpm.GenerateDataset(spec)
+	if err := st.ObserveBatch("bike", tr.Points()); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+"/objects/bike/predict?tq=5", http.StatusBadRequest)
+}
+
+func TestObserveBodyLimit(t *testing.T) {
+	srv, _ := testServer(t)
+	huge := bytes.NewBuffer(make([]byte, 0, maxObserveBody+1024))
+	huge.WriteString(`{"points": [`)
+	for i := 0; huge.Len() < maxObserveBody+512; i++ {
+		if i > 0 {
+			huge.WriteString(",")
+		}
+		huge.WriteString("[1.0,2.0]")
+	}
+	huge.WriteString("]}")
+	resp, err := http.Post(srv.URL+"/objects/big/observe", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"hpm"
+)
+
+// Snapshot persistence: a Store serializes its options, every object's
+// track, and every trained model, so a service can restart without
+// re-mining its fleet. Format: magic+version, options JSON, then one
+// length-prefixed record per object.
+
+const (
+	snapshotMagic   = "HPMS"
+	snapshotVersion = 1
+)
+
+// Save writes a snapshot of the whole store. Concurrent Observe calls are
+// blocked per object while its record is written.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	oj, err := json.Marshal(s.opts)
+	if err != nil {
+		return fmt.Errorf("store: encode options: %w", err)
+	}
+	writeBytes(bw, oj)
+
+	ids := s.Objects()
+	writeUvarint(bw, uint64(len(ids)))
+	for _, id := range ids {
+		obj, err := s.get(id, false)
+		if err != nil {
+			continue // removed concurrently; the count is a cap, see Load
+		}
+		obj.mu.Lock()
+		err = writeObject(bw, id, obj)
+		obj.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeObject(bw *bufio.Writer, id string, obj *object) error {
+	writeBytes(bw, []byte(id))
+	writeUvarint(bw, uint64(len(obj.track)))
+	var fb [8]byte
+	for _, p := range obj.track {
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(p.X))
+		bw.Write(fb[:])
+		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(p.Y))
+		bw.Write(fb[:])
+	}
+	writeUvarint(bw, uint64(obj.modeled))
+	writeUvarint(bw, uint64(obj.sinceRetrain))
+	if obj.predictor == nil {
+		return writeByteChecked(bw, 0)
+	}
+	if err := writeByteChecked(bw, 1); err != nil {
+		return err
+	}
+	// The model stream is self-delimiting (its own magic and trailer), so
+	// it nests directly.
+	return obj.predictor.Save(bw)
+}
+
+// Load reads a snapshot written by Save and returns a ready store.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: read header: %w", err)
+	}
+	if string(head[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a snapshot (magic %q)", head[:len(snapshotMagic)])
+	}
+	if head[len(snapshotMagic)] != snapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", head[len(snapshotMagic)])
+	}
+	oj, err := readBytes(br, 1<<20)
+	if err != nil {
+		return nil, fmt.Errorf("store: read options: %w", err)
+	}
+	var opts Options
+	if err := json.Unmarshal(oj, &opts); err != nil {
+		return nil, fmt.Errorf("store: decode options: %w", err)
+	}
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: read object count: %w", err)
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("store: implausible object count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		if err := readObject(br, s); err != nil {
+			// A Save racing Remove can legitimately write fewer records
+			// than counted; only clean EOF at a record boundary is fine.
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func readObject(br *bufio.Reader, s *Store) error {
+	idb, err := readBytes(br, 4096)
+	if err != nil {
+		return err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: read track length: %w", err)
+	}
+	if n > 1<<30 {
+		return fmt.Errorf("store: implausible track length %d", n)
+	}
+	track := make([]hpm.Point, n)
+	var fb [16]byte
+	for i := range track {
+		if _, err := io.ReadFull(br, fb[:]); err != nil {
+			return fmt.Errorf("store: read track: %w", err)
+		}
+		track[i] = hpm.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(fb[0:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(fb[8:])),
+		)
+	}
+	modeled, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: read modeled: %w", err)
+	}
+	sinceRetrain, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: read sinceRetrain: %w", err)
+	}
+	trained, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("store: read trained flag: %w", err)
+	}
+	obj := &object{
+		track:        track,
+		modeled:      int(modeled),
+		sinceRetrain: int(sinceRetrain),
+	}
+	if trained == 1 {
+		p, err := hpm.Load(br)
+		if err != nil {
+			return fmt.Errorf("store: load model for %q: %w", idb, err)
+		}
+		obj.predictor = p
+	}
+	s.mu.Lock()
+	s.objects[string(idb)] = obj
+	s.mu.Unlock()
+	return nil
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func writeBytes(bw *bufio.Writer, b []byte) {
+	writeUvarint(bw, uint64(len(b)))
+	bw.Write(b)
+}
+
+func writeByteChecked(bw *bufio.Writer, b byte) error {
+	return bw.WriteByte(b)
+}
+
+func readBytes(br *bufio.Reader, max uint64) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > max {
+		return nil, fmt.Errorf("store: length %d exceeds limit %d", n, max)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"hpm"
+)
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3, RetrainEvery: 50})
+	feed(t, s, "bike-1", 1, 5) // trained
+	feed(t, s, "bike-2", 2, 4) // trained
+	if err := s.Observe("young", hpm.Pt(10, 20)); err != nil {
+		t.Fatal(err) // untrained object with one observation
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := back.Objects()
+	if len(ids) != 3 {
+		t.Fatalf("restored %d objects: %v", len(ids), ids)
+	}
+	for _, id := range []string{"bike-1", "bike-2"} {
+		a, _ := s.Stats(id)
+		b, err := back.Stats(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.Points != b.Points || a.Trained != b.Trained ||
+			a.Patterns != b.Patterns || a.Regions != b.Regions || a.Modeled != b.Modeled {
+			t.Errorf("%s stats differ: %+v vs %+v", id, a, b)
+		}
+	}
+	st, _ := back.Stats("young")
+	if st.Trained || st.Points != 1 {
+		t.Errorf("untrained object restored wrong: %+v", st)
+	}
+
+	// The restored store answers queries identically.
+	now, _ := s.Now("bike-1")
+	want, err := s.Predict("bike-1", now+15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Predict("bike-1", now+15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0].Location != want[0].Location {
+		t.Errorf("restored prediction %+v != %+v", got, want)
+	}
+
+	// And keeps ingesting + updating after the restart.
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 1)
+	spec.Period = period
+	spec.SubTrajectories = 7
+	tr := hpm.GenerateDataset(spec)
+	if err := back.ObserveBatch("bike-1", tr.Slice(5*period, 7*period)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = back.Stats("bike-1")
+	if st.Modeled != 7 {
+		t.Errorf("restored store did not extend: modeled %d", st.Modeled)
+	}
+}
+
+func TestStoreSnapshotOptionsPreserved(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 7, ExtendEvery: 2, RetrainEvery: 9, MaxRecent: 25})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.opts != s.opts {
+		t.Errorf("options differ: %+v vs %+v", back.opts, s.opts)
+	}
+	if back.Period() != period {
+		t.Errorf("period %d, want %d", back.Period(), period)
+	}
+}
+
+func TestStoreLoadRejectsGarbage(t *testing.T) {
+	for i, in := range [][]byte{
+		nil,
+		[]byte("XXXX\x01"),
+		[]byte("HPMS\x09"),
+		[]byte("HPMS\x01\x03{}"), // truncated options
+	} {
+		if _, err := Load(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage snapshot accepted", i)
+		}
+	}
+}
+
+func TestStoreLoadRejectsTruncation(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	feed(t, s, "bike", 1, 4)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.2, 0.6, 0.95} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package store manages Hybrid Prediction Models for a fleet of moving
+// objects: it ingests location streams, trains a per-object model once
+// enough periods accumulate, keeps each model fresh with incremental
+// updates (and optional periodic retrains), and answers predictive queries
+// concurrently.
+//
+// The paper models a single object per model — patterns are personal
+// habits, so a shared model would blur them. This package is the thin
+// systems layer that makes the single-object core usable as a moving-
+// objects database: one model per tracked object, safe for concurrent
+// Observe and Predict calls.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hpm"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Config is the model configuration shared by every object; its
+	// Period is required. Config.SubTrajectories is ignored — the store
+	// manages training windows itself.
+	Config hpm.Config
+	// MinTrainPeriods is how many full periods an object must accumulate
+	// before its first model is trained. Values <= 0 default to
+	// DefaultMinTrainPeriods.
+	MinTrainPeriods int
+	// ExtendEvery incrementally extends a trained model after this many
+	// newly completed periods. Values <= 0 default to 1 (every period).
+	ExtendEvery int
+	// RetrainEvery fully retrains a model after this many newly completed
+	// periods, refreshing regions and key tables. 0 disables periodic
+	// retraining (incremental updates only).
+	RetrainEvery int
+	// MaxRecent is the recent-movement window handed to queries. Values
+	// <= 0 default to DefaultMaxRecent.
+	MaxRecent int
+}
+
+// Defaults for Options fields left at their zero value.
+const (
+	DefaultMinTrainPeriods = 5
+	DefaultMaxRecent       = 10
+)
+
+func (o Options) withDefaults() Options {
+	if o.MinTrainPeriods <= 0 {
+		o.MinTrainPeriods = DefaultMinTrainPeriods
+	}
+	if o.ExtendEvery <= 0 {
+		o.ExtendEvery = 1
+	}
+	if o.MaxRecent <= 0 {
+		o.MaxRecent = DefaultMaxRecent
+	}
+	o.Config.SubTrajectories = 0
+	return o
+}
+
+// ErrUntrained is returned by queries against an object that has not yet
+// accumulated enough history for its first model.
+var ErrUntrained = errors.New("store: object not yet trained")
+
+// ErrUnknownObject is returned for ids never observed.
+var ErrUnknownObject = errors.New("store: unknown object")
+
+// Store tracks many objects. All methods are safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu      sync.RWMutex
+	objects map[string]*object
+}
+
+type object struct {
+	mu        sync.Mutex
+	track     []hpm.Point
+	predictor *hpm.Predictor
+	// modeled is how many leading periods of track the predictor has seen
+	// (via Train or Extend).
+	modeled int
+	// sinceRetrain counts periods absorbed since the last full train.
+	sinceRetrain int
+}
+
+// New returns an empty store. Config.Period must be positive.
+func New(opts Options) (*Store, error) {
+	if opts.Config.Period <= 0 {
+		return nil, errors.New("store: Options.Config.Period must be positive")
+	}
+	return &Store{opts: opts.withDefaults(), objects: map[string]*object{}}, nil
+}
+
+// Period returns the configured pattern period.
+func (s *Store) Period() int { return s.opts.Config.Period }
+
+// get returns the object's state, creating it when create is set.
+func (s *Store) get(id string, create bool) (*object, error) {
+	s.mu.RLock()
+	obj := s.objects[id]
+	s.mu.RUnlock()
+	if obj != nil {
+		return obj, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj = s.objects[id]; obj == nil {
+		obj = &object{}
+		s.objects[id] = obj
+	}
+	return obj, nil
+}
+
+// Observe appends the object's location at its next timestamp (locations
+// arrive in order, one per tick). Crossing a period boundary may trigger a
+// synchronous model update: the first train once MinTrainPeriods complete
+// periods exist, then incremental extends and optional periodic retrains.
+func (s *Store) Observe(id string, loc hpm.Point) error {
+	return s.ObserveBatch(id, []hpm.Point{loc})
+}
+
+// ObserveBatch appends consecutive locations in one call.
+func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
+	if len(locs) == 0 {
+		return nil
+	}
+	obj, err := s.get(id, true)
+	if err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	obj.track = append(obj.track, locs...)
+	return s.maybeUpdate(obj)
+}
+
+// maybeUpdate trains, extends or retrains the object's model according to
+// the configured policy. Called with obj.mu held.
+func (s *Store) maybeUpdate(obj *object) error {
+	period := s.opts.Config.Period
+	completed := len(obj.track) / period
+
+	if obj.predictor == nil {
+		if completed < s.opts.MinTrainPeriods {
+			return nil
+		}
+		return s.train(obj, completed)
+	}
+	newPeriods := completed - obj.modeled
+	if newPeriods <= 0 {
+		return nil
+	}
+	if s.opts.RetrainEvery > 0 && obj.sinceRetrain+newPeriods >= s.opts.RetrainEvery {
+		return s.train(obj, completed)
+	}
+	if newPeriods < s.opts.ExtendEvery {
+		return nil
+	}
+	_, err := obj.predictor.Extend(obj.track[obj.modeled*period : completed*period])
+	if err != nil {
+		return fmt.Errorf("store: extend: %w", err)
+	}
+	obj.sinceRetrain += newPeriods
+	obj.modeled = completed
+	return nil
+}
+
+// train fully (re)trains obj over its first completed periods. Called with
+// obj.mu held.
+func (s *Store) train(obj *object, completed int) error {
+	cfg := s.opts.Config
+	pts := obj.track[:completed*cfg.Period]
+	p, err := hpm.TrainPoints(pts, cfg)
+	if err != nil {
+		return fmt.Errorf("store: train: %w", err)
+	}
+	obj.predictor = p
+	obj.modeled = completed
+	obj.sinceRetrain = 0
+	return nil
+}
+
+// Predict estimates the object's location at absolute time tq (timestamps
+// count observations from zero) from its most recent movements.
+func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	return obj.predictor.Predict(recent, tq, k)
+}
+
+// PredictRange estimates the object's locations over [from, to].
+func (s *Store) PredictRange(id string, from, to int) ([]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	return obj.predictor.PredictRange(recent, from, to)
+}
+
+// recentLocked builds the query window from the tail of the track.
+func (s *Store) recentLocked(obj *object) ([]hpm.TimedPoint, error) {
+	if obj.predictor == nil {
+		return nil, ErrUntrained
+	}
+	n := len(obj.track)
+	w := s.opts.MaxRecent
+	if w > n {
+		w = n
+	}
+	recent := make([]hpm.TimedPoint, 0, w)
+	for t := n - w; t < n; t++ {
+		recent = append(recent, hpm.TimedPoint{T: t, Loc: obj.track[t]})
+	}
+	return recent, nil
+}
+
+// Now returns the object's current time: the timestamp of its latest
+// observation, or -1 when nothing was observed.
+func (s *Store) Now(id string) (int, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return 0, err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	return len(obj.track) - 1, nil
+}
+
+// ObjectStats summarizes one tracked object.
+type ObjectStats struct {
+	ID         string
+	Points     int  // observations ingested
+	Periods    int  // completed periods
+	Trained    bool // has a model
+	Modeled    int  // periods the model has absorbed
+	Regions    int
+	Patterns   int
+	IndexBytes int
+	// Queries summarizes the object's query traffic by answering path.
+	Queries hpm.QueryStats
+}
+
+// Stats returns the object's summary.
+func (s *Store) Stats(id string) (ObjectStats, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return ObjectStats{}, err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	st := ObjectStats{
+		ID:      id,
+		Points:  len(obj.track),
+		Periods: len(obj.track) / s.opts.Config.Period,
+		Modeled: obj.modeled,
+	}
+	if obj.predictor != nil {
+		st.Trained = true
+		st.Regions = obj.predictor.NumRegions()
+		st.Patterns = obj.predictor.NumPatterns()
+		st.IndexBytes = obj.predictor.IndexBytes()
+		st.Queries = obj.predictor.QueryStats()
+	}
+	return st, nil
+}
+
+// Objects lists all tracked ids, sorted.
+func (s *Store) Objects() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Remove forgets an object entirely.
+func (s *Store) Remove(id string) {
+	s.mu.Lock()
+	delete(s.objects, id)
+	s.mu.Unlock()
+}
+
+// Predictor returns the object's current predictor for advanced use
+// (saving, inspection); nil when untrained. The returned predictor may be
+// replaced by later retrains, so hold onto the pointer only briefly.
+func (s *Store) Predictor(id string) (*hpm.Predictor, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	return obj.predictor, nil
+}

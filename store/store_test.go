@@ -1,0 +1,248 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"hpm"
+)
+
+const period = 60
+
+func testStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Config.Period == 0 {
+		opts.Config.Period = period
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feed pushes n periods of a dataset trajectory into the store.
+func feed(t *testing.T, s *Store, id string, seed int64, periods int) *hpm.Trajectory {
+	t.Helper()
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, seed)
+	spec.Period = s.Period()
+	spec.SubTrajectories = periods
+	tr := hpm.GenerateDataset(spec)
+	if err := s.ObserveBatch(id, tr.Points()); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestTrainAfterMinPeriods(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 4})
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 1)
+	spec.Period = period
+	spec.SubTrajectories = 6
+	tr := hpm.GenerateDataset(spec)
+
+	// Feed three periods: still untrained.
+	if err := s.ObserveBatch("bike", tr.Slice(0, 3*period)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Predict("bike", 3*period+10, 1); err != ErrUntrained {
+		t.Errorf("expected ErrUntrained, got %v", err)
+	}
+	st, err := s.Stats("bike")
+	if err != nil || st.Trained {
+		t.Errorf("premature training: %+v, %v", st, err)
+	}
+
+	// One more period crosses the threshold.
+	if err := s.ObserveBatch("bike", tr.Slice(3*period, 4*period)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.Stats("bike")
+	if !st.Trained || st.Modeled != 4 {
+		t.Fatalf("not trained after 4 periods: %+v", st)
+	}
+	if st.Patterns == 0 || st.Regions == 0 || st.IndexBytes == 0 {
+		t.Errorf("empty model stats: %+v", st)
+	}
+}
+
+func TestPredictOnStream(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 5})
+	tr := feed(t, s, "bike", 2, 10)
+	now, err := s.Now("bike")
+	if err != nil || now != tr.Len()-1 {
+		t.Fatalf("Now = %d, %v; want %d", now, err, tr.Len()-1)
+	}
+	preds, err := s.Predict("bike", now+20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 1 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	rng, err := s.PredictRange("bike", now+1, now+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rng) != 5 {
+		t.Fatalf("range returned %d predictions", len(rng))
+	}
+}
+
+func TestExtendOnNewPeriods(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 5})
+	feed(t, s, "bike", 3, 5)
+	st, _ := s.Stats("bike")
+	if st.Modeled != 5 {
+		t.Fatalf("modeled %d, want 5", st.Modeled)
+	}
+	// Two more periods: incremental extends keep the model current.
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 3)
+	spec.Period = period
+	spec.SubTrajectories = 8
+	tr := hpm.GenerateDataset(spec)
+	if err := s.ObserveBatch("bike", tr.Slice(5*period, 7*period)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = s.Stats("bike")
+	if st.Modeled != 7 {
+		t.Errorf("modeled %d after extend, want 7", st.Modeled)
+	}
+	if st.Periods != 7 {
+		t.Errorf("periods %d, want 7", st.Periods)
+	}
+}
+
+func TestRetrainPolicy(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3, RetrainEvery: 2})
+	feed(t, s, "bike", 4, 3)
+	p1, err := s.Predictor("bike")
+	if err != nil || p1 == nil {
+		t.Fatal("no predictor after initial train")
+	}
+	// Two more periods trigger a full retrain: a fresh predictor value.
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 4)
+	spec.Period = period
+	spec.SubTrajectories = 5
+	tr := hpm.GenerateDataset(spec)
+	if err := s.ObserveBatch("bike", tr.Slice(3*period, 5*period)); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s.Predictor("bike")
+	if p1 == p2 {
+		t.Error("RetrainEvery did not rebuild the model")
+	}
+	st, _ := s.Stats("bike")
+	if st.Modeled != 5 {
+		t.Errorf("modeled %d after retrain, want 5", st.Modeled)
+	}
+}
+
+func TestMultipleObjectsIsolated(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 5})
+	feed(t, s, "a", 10, 6)
+	feed(t, s, "b", 20, 6)
+	ids := s.Objects()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("Objects = %v", ids)
+	}
+	sa, _ := s.Stats("a")
+	sb, _ := s.Stats("b")
+	if sa.Patterns == sb.Patterns && sa.Regions == sb.Regions && sa.IndexBytes == sb.IndexBytes {
+		t.Error("two different objects produced identical models (suspicious)")
+	}
+	s.Remove("a")
+	if _, err := s.Stats("a"); err == nil {
+		t.Error("removed object still present")
+	}
+	if _, err := s.Predict("never-seen", 10, 1); err == nil {
+		t.Error("unknown object accepted")
+	}
+}
+
+func TestEmptyBatchIsNoop(t *testing.T) {
+	s := testStore(t, Options{})
+	if err := s.ObserveBatch("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Objects()) != 0 {
+		t.Error("empty batch created an object")
+	}
+}
+
+func TestConcurrentObserveAndPredict(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	tr := feed(t, s, "bike", 6, 4) // trained
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Writers: keep streaming one more period in small batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 6)
+		spec.Period = period
+		spec.SubTrajectories = 6
+		more := hpm.GenerateDataset(spec).Slice(4*period, 6*period)
+		for i := 0; i < len(more); i += 10 {
+			end := i + 10
+			if end > len(more) {
+				end = len(more)
+			}
+			if err := s.ObserveBatch("bike", more[i:end]); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Readers: concurrent predictions.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				now, err := s.Now("bike")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Predict("bike", now+10, 1); err != nil && err != ErrUntrained {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	_ = tr
+}
+
+func TestStatsIncludeQueryCounters(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	feed(t, s, "bike", 8, 5)
+	now, _ := s.Now("bike")
+	for i := 0; i < 3; i++ {
+		if _, err := s.Predict("bike", now+10+i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Queries != 3 {
+		t.Errorf("query counter = %d, want 3", st.Queries.Queries)
+	}
+	if st.Queries.Forward+st.Queries.Backward+st.Queries.Fallback+st.Queries.Unanswered != 3 {
+		t.Errorf("query paths don't sum: %+v", st.Queries)
+	}
+}
