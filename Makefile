@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent layers: the fleet store (background retrains),
+# the HTTP service, and the parallel training pipeline.
+race:
+	$(GO) test -race ./store/... ./serve/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+# Quick-mode benchmark per paper figure plus the micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,4 +1,4 @@
-package hpm
+package hpm_test
 
 // One benchmark per table/figure of the paper's evaluation (§VII), plus
 // the ablations documented in DESIGN.md. Each figure benchmark runs its
@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"hpm"
 	"hpm/internal/datagen"
 	"hpm/internal/experiments"
 	"hpm/internal/motion"
@@ -78,13 +79,13 @@ func BenchmarkChooseLeafAblation(b *testing.B) { benchExperiment(b, "tpt-choosel
 // --- micro-benchmarks -------------------------------------------------
 
 // benchPredictor trains one moderate Bike model for query benches.
-func benchPredictor(b *testing.B) (*Predictor, *Trajectory, DatasetSpec) {
+func benchPredictor(b *testing.B) (*hpm.Predictor, *hpm.Trajectory, hpm.DatasetSpec) {
 	b.Helper()
-	spec := DefaultDatasetSpec(DatasetBike, 3)
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 3)
 	spec.Period = 150
 	spec.SubTrajectories = 45
-	tr := GenerateDataset(spec)
-	p, err := Train(tr, Config{Period: spec.Period, SubTrajectories: 40})
+	tr := hpm.GenerateDataset(spec)
+	p, err := hpm.Train(tr, hpm.Config{Period: spec.Period, SubTrajectories: 40})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -94,13 +95,13 @@ func benchPredictor(b *testing.B) (*Predictor, *Trajectory, DatasetSpec) {
 // BenchmarkTrain measures end-to-end model construction: decomposition,
 // DBSCAN, Apriori, key tables, TPT bulk load.
 func BenchmarkTrain(b *testing.B) {
-	spec := DefaultDatasetSpec(DatasetBike, 3)
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 3)
 	spec.Period = 150
 	spec.SubTrajectories = 40
-	tr := GenerateDataset(spec)
+	tr := hpm.GenerateDataset(spec)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Train(tr, Config{Period: spec.Period}); err != nil {
+		if _, err := hpm.Train(tr, hpm.Config{Period: spec.Period}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkTrain(b *testing.B) {
 func BenchmarkPredictNear(b *testing.B) {
 	p, tr, spec := benchPredictor(b)
 	rng := rand.New(rand.NewSource(1))
-	queries := make([][]TimedPoint, 64)
+	queries := make([][]hpm.TimedPoint, 64)
 	tqs := make([]int, 64)
 	for i := range queries {
 		day := 40 + rng.Intn(5)
@@ -135,7 +136,7 @@ func BenchmarkPredictNear(b *testing.B) {
 func BenchmarkPredictDistant(b *testing.B) {
 	p, tr, spec := benchPredictor(b)
 	rng := rand.New(rand.NewSource(2))
-	queries := make([][]TimedPoint, 64)
+	queries := make([][]hpm.TimedPoint, 64)
 	tqs := make([]int, 64)
 	for i := range queries {
 		day := 40 + rng.Intn(5)
@@ -159,10 +160,10 @@ func BenchmarkPredictDistant(b *testing.B) {
 // BenchmarkRMFFit measures one self-training RMF construction, the unit the
 // paper's query-cost comparison charges per fallback.
 func BenchmarkRMFFit(b *testing.B) {
-	spec := DefaultDatasetSpec(DatasetCar, 7)
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetCar, 7)
 	spec.Period = 150
 	spec.SubTrajectories = 2
-	tr := GenerateDataset(spec)
+	tr := hpm.GenerateDataset(spec)
 	recent := make([]trajectory.TimedPoint, 60)
 	for i := range recent {
 		recent[i] = trajectory.TimedPoint{T: i, Loc: tr.At(i)}
@@ -183,10 +184,10 @@ func BenchmarkRMFFit(b *testing.B) {
 
 // BenchmarkDatasetGeneration measures the synthetic data generator.
 func BenchmarkDatasetGeneration(b *testing.B) {
-	spec := DefaultDatasetSpec(DatasetAirplane, 11)
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetAirplane, 11)
 	spec.SubTrajectories = 20
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		GenerateDataset(spec)
+		hpm.GenerateDataset(spec)
 	}
 }

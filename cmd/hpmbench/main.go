@@ -9,14 +9,21 @@
 //	hpmbench -experiment all -quick
 //	hpmbench -experiment fig7 -seed 7 -out results.txt
 //	hpmbench -experiment all -svg figures/
+//	hpmbench -experiment scaling -json
+//
+// With -json, each experiment additionally writes BENCH_<name>.json — a
+// machine-readable {experiment, params, series} record, with the run's
+// GOMAXPROCS captured so throughput numbers can be interpreted.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,12 +33,13 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("experiment", "", "experiment to run (see -list), or \"all\"")
-		quick = flag.Bool("quick", false, "shrink sweeps and workloads for a fast smoke run")
-		seed  = flag.Int64("seed", 1, "PRNG seed for data generation and query sampling")
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		out   = flag.String("out", "", "write tables to this file instead of stdout")
-		svg   = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		name    = flag.String("experiment", "", "experiment to run (see -list), or \"all\"")
+		quick   = flag.Bool("quick", false, "shrink sweeps and workloads for a fast smoke run")
+		seed    = flag.Int64("seed", 1, "PRNG seed for data generation and query sampling")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		out     = flag.String("out", "", "write tables to this file instead of stdout")
+		svg     = flag.String("svg", "", "also render each figure as an SVG into this directory")
+		jsonOut = flag.Bool("json", false, "also write BENCH_<experiment>.json per experiment")
 	)
 	flag.Parse()
 
@@ -83,7 +91,74 @@ func main() {
 				}
 			}
 		}
+		if *jsonOut {
+			if err := writeJSON(n, opts, figs); err != nil {
+				fmt.Fprintln(os.Stderr, "hpmbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// benchReport is the machine-readable form of one experiment run. Params
+// records what shaped the numbers — the sweep configuration plus the host
+// parallelism, without which timing series cannot be compared across runs.
+type benchReport struct {
+	Experiment string        `json:"experiment"`
+	Params     benchParams   `json:"params"`
+	Series     []benchSeries `json:"series"`
+}
+
+type benchParams struct {
+	Seed       int64 `json:"seed"`
+	Quick      bool  `json:"quick"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	NumCPU     int   `json:"numcpu"`
+}
+
+type benchSeries struct {
+	Figure string    `json:"figure"`
+	Title  string    `json:"title"`
+	XLabel string    `json:"xlabel"`
+	YLabel string    `json:"ylabel"`
+	Name   string    `json:"name"`
+	X      []float64 `json:"x"`
+	Y      []float64 `json:"y"`
+}
+
+// writeJSON flattens the experiment's figures into BENCH_<name>.json.
+func writeJSON(name string, opts experiments.Options, figs []experiments.Figure) error {
+	rep := benchReport{
+		Experiment: name,
+		Params: benchParams{
+			Seed:       opts.Seed,
+			Quick:      opts.Quick,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Series: []benchSeries{},
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			rep.Series = append(rep.Series, benchSeries{
+				Figure: f.ID,
+				Title:  f.Title,
+				XLabel: f.XLabel,
+				YLabel: f.YLabel,
+				Name:   s.Name,
+				X:      s.X,
+				Y:      s.Y,
+			})
+		}
+	}
+	f, err := os.Create("BENCH_" + name + ".json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // writeSVG renders one figure into dir/<id>.svg. Pattern-count sweeps span

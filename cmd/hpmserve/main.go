@@ -38,6 +38,7 @@ func main() {
 		eps      = flag.Float64("eps", 0, "DBSCAN Eps (0 = paper default 30)")
 		minPts   = flag.Int("minpts", 0, "DBSCAN MinPts (0 = paper default 4)")
 		distant  = flag.Int("distant", 0, "distant-time threshold d (0 = paper default 60)")
+		workers  = flag.Int("parallelism", 0, "worker goroutines per model train (0 = NumCPU; any value trains identical models)")
 		snapshot = flag.String("snapshot", "", "fleet snapshot file: restored at start, saved on shutdown")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 			Eps:              *eps,
 			MinPts:           *minPts,
 			DistantThreshold: *distant,
+			Parallelism:      *workers,
 		},
 		MinTrainPeriods: *minDays,
 		RetrainEvery:    *retrain,
@@ -57,9 +59,7 @@ func main() {
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.Handler(st)}
-	if *snapshot != "" {
-		go saveOnShutdown(srv, st, *snapshot)
-	}
+	go shutdownOnSignal(srv, st, *snapshot)
 	fmt.Printf("hpmserve listening on %s (period %d, first train after %d periods)\n",
 		*addr, *period, *minDays)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -88,12 +88,26 @@ func openStore(path string, opts store.Options) (*store.Store, error) {
 	return store.New(opts)
 }
 
-// saveOnShutdown writes the snapshot when the process is interrupted, then
-// stops the server.
-func saveOnShutdown(srv *http.Server, st *store.Store, path string) {
+// shutdownOnSignal drains background trains when the process is
+// interrupted, writes the snapshot (when configured), then stops the
+// server.
+func shutdownOnSignal(srv *http.Server, st *store.Store, path string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	// Drain in-flight trains so the snapshot captures the freshest models
+	// and no trainer goroutine outlives the save.
+	if err := st.Close(); err != nil {
+		log.Printf("hpmserve: background training: %v", err)
+	}
+	if path != "" {
+		saveSnapshot(st, path)
+	}
+	srv.Close()
+}
+
+// saveSnapshot writes the fleet atomically via a temp file rename.
+func saveSnapshot(st *store.Store, path string) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err == nil {
@@ -111,5 +125,4 @@ func saveOnShutdown(srv *http.Server, st *store.Store, path string) {
 	} else {
 		fmt.Printf("\nsnapshot saved to %s\n", path)
 	}
-	srv.Close()
 }

@@ -12,11 +12,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"hpm/internal/geom"
 	"hpm/internal/hpa"
 	"hpm/internal/motion"
+	"hpm/internal/parallel"
 	"hpm/internal/pattern"
 	"hpm/internal/tpt"
 	"hpm/internal/trajectory"
@@ -82,6 +84,17 @@ type Params struct {
 	Bounds *geom.Rect
 	// Tree tunes the TPT node capacity.
 	Tree tpt.Options
+	// Parallelism caps the worker goroutines the training pipeline may
+	// use: per-offset DBSCAN region discovery, Apriori support counting,
+	// training-bounds derivation, and the TPT bulk-load sort all fan out
+	// across it. 0 defaults to runtime.NumCPU(); 1 trains serially.
+	//
+	// Determinism guarantee: every value produces a byte-identical model —
+	// same region IDs and geometry, same patterns in the same order, same
+	// index — because parallel stages compute into per-index slots that
+	// are merged in serial order. The knob is runtime-only and excluded
+	// from model serialization.
+	Parallelism int `json:"-"`
 }
 
 // Paper defaults for zero Params fields.
@@ -107,6 +120,17 @@ func (p Params) withDefaults() Params {
 	// as the default support floor.
 	if p.Mining.MinSupport <= 0 {
 		p.Mining.MinSupport = p.MinPts
+	}
+	if p.Parallelism <= 0 {
+		p.Parallelism = runtime.NumCPU()
+	}
+	// The mining and bulk-load stages take the same knob unless tuned
+	// separately.
+	if p.Mining.Parallelism <= 0 {
+		p.Mining.Parallelism = p.Parallelism
+	}
+	if p.Tree.Parallelism <= 0 {
+		p.Tree.Parallelism = p.Parallelism
 	}
 	return p
 }
@@ -151,14 +175,14 @@ func TrainSubTrajectories(subs []trajectory.SubTrajectory, params Params) (*Mode
 	params = params.withDefaults()
 
 	groups := trajectory.Groups(subs, params.SubTrajectories)
-	regions := pattern.DiscoverRegions(groups, params.Eps, params.MinPts)
+	regions := pattern.DiscoverRegionsParallel(groups, params.Eps, params.MinPts, params.Parallelism)
 	patterns, stats := pattern.MineWithStats(regions, params.Mining)
 	ct := pattern.NewConsequenceTable(regions, patterns)
 	enc := pattern.NewEncoder(regions, ct)
 
 	bounds := params.Bounds
 	if bounds == nil {
-		b := trainingBounds(subs, params.SubTrajectories)
+		b := trainingBounds(subs, params.SubTrajectories, params.Parallelism)
 		bounds = &b
 	}
 
@@ -201,15 +225,31 @@ func motionFactory(params Params, bounds *geom.Rect) func() motion.Function {
 	}
 }
 
-func trainingBounds(subs []trajectory.SubTrajectory, n int) geom.Rect {
+func trainingBounds(subs []trajectory.SubTrajectory, n, workers int) geom.Rect {
 	if n <= 0 || n > len(subs) {
 		n = len(subs)
 	}
-	r := geom.Rect{Min: subs[0].Points[0], Max: subs[0].Points[0]}
-	for i := 0; i < n; i++ {
-		for _, p := range subs[i].Points {
-			r = r.ExpandPoint(p)
+	workers = parallel.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	// Each worker folds a contiguous chunk of sub-trajectories into a
+	// partial extent; min/max are exact and order-independent, so the
+	// merged rectangle equals the serial fold for any worker count.
+	partial := make([]geom.Rect, workers)
+	parallel.For(workers, workers, func(w int) {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		r := geom.Rect{Min: subs[lo].Points[0], Max: subs[lo].Points[0]}
+		for i := lo; i < hi; i++ {
+			for _, p := range subs[i].Points {
+				r = r.ExpandPoint(p)
+			}
 		}
+		partial[w] = r
+	})
+	r := partial[0]
+	for _, pr := range partial[1:] {
+		r = r.Union(pr)
 	}
 	// A 10% margin keeps legitimate extrapolation just outside the data
 	// extent from being clipped.

@@ -126,6 +126,10 @@ func Load(r io.Reader) (*Model, error) {
 // assemble builds a query-ready model from its persistent parts; shared by
 // Load and (logically) the tail of TrainSubTrajectories.
 func assemble(params Params, regions *pattern.RegionTable, patterns []pattern.Pattern, bounds geom.Rect) (*Model, error) {
+	// Parallelism is runtime-only and deliberately not serialized;
+	// re-defaulting lets the load-time index rebuild (and later Extends)
+	// use this machine's cores. withDefaults is idempotent on the rest.
+	params = params.withDefaults()
 	ct := pattern.NewConsequenceTable(regions, patterns)
 	enc := pattern.NewEncoder(regions, ct)
 	engine, err := hpa.NewEngine(enc, patterns, hpa.Config{

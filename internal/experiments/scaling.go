@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hpm"
+	"hpm/internal/core"
+	"hpm/internal/datagen"
+	"hpm/store"
+)
+
+func init() {
+	register("scaling", "Scaling: train time vs Parallelism; store ingest, background vs synchronous retrains", scaling)
+}
+
+// scalingWorkers is the Parallelism sweep shared by every scaling figure.
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// scaling measures what the Parallelism knob and background training buy:
+//
+//   - full-model train time at 1/2/4/8 workers (the parallel region
+//     discovery, support counting, bounds and bulk-load sort phases);
+//   - store ingest throughput while periodic retrains fire, background
+//     pool vs the synchronous baseline;
+//   - worst-case ObserveBatch latency in the same runs — the hot-path
+//     stall that moving retrains off the observing goroutine removes.
+//
+// Speedups track GOMAXPROCS: on a single-CPU host the train-time curve is
+// flat (the determinism guarantee makes that safe to rely on), while the
+// latency win from backgrounding survives even there.
+func scaling(o Options) []Figure {
+	o = o.withDefaults()
+	e := newEnv(datagen.Car, o, 0)
+
+	trainS := Series{Name: "full train"}
+	for _, w := range scalingWorkers {
+		start := time.Now()
+		e.train(core.Params{Parallelism: w}, 0)
+		trainS.X = append(trainS.X, float64(w))
+		trainS.Y = append(trainS.Y, float64(time.Since(start).Microseconds())/1000)
+	}
+	figs := []Figure{{
+		ID:     "scaling-train",
+		Title:  "Training Time vs Parallelism — " + datagen.Car.String(),
+		XLabel: "workers",
+		YLabel: "train time (ms)",
+		Series: []Series{trainS},
+	}}
+
+	// Ingest: stream whole periods through a store with periodic retrains
+	// enabled, so full trains land mid-stream (at periods 3, 5, 7, ...).
+	// Throughput counts only caller-visible ObserveBatch time; the drain
+	// (Close) is timed separately by the background pool.
+	periods := 8
+	if o.Quick {
+		periods = 6
+	}
+	spec := datagen.DefaultSpec(datagen.Car, o.Seed)
+	spec.Period = e.sz.period
+	spec.SubTrajectories = periods
+	pts := datagen.Generate(spec).Points()
+
+	thr := map[bool]*Series{
+		false: {Name: "background"},
+		true:  {Name: "synchronous"},
+	}
+	lat := map[bool]*Series{
+		false: {Name: "background"},
+		true:  {Name: "synchronous"},
+	}
+	for _, w := range scalingWorkers {
+		for _, synchronous := range []bool{false, true} {
+			st, err := store.New(store.Options{
+				Config:              hpm.Config{Period: e.sz.period, Parallelism: w},
+				MinTrainPeriods:     3,
+				RetrainEvery:        2,
+				SynchronousTraining: synchronous,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: store: %v", err))
+			}
+			var maxBatch time.Duration
+			start := time.Now()
+			for p := 0; p < periods; p++ {
+				b0 := time.Now()
+				if err := st.ObserveBatch("car", pts[p*e.sz.period:(p+1)*e.sz.period]); err != nil {
+					panic(fmt.Sprintf("experiments: observe: %v", err))
+				}
+				if d := time.Since(b0); d > maxBatch {
+					maxBatch = d
+				}
+			}
+			observeTime := time.Since(start)
+			if err := st.Close(); err != nil {
+				panic(fmt.Sprintf("experiments: close: %v", err))
+			}
+			s := thr[synchronous]
+			s.X = append(s.X, float64(w))
+			s.Y = append(s.Y, float64(len(pts))/observeTime.Seconds())
+			l := lat[synchronous]
+			l.X = append(l.X, float64(w))
+			l.Y = append(l.Y, float64(maxBatch.Microseconds())/1000)
+		}
+	}
+	figs = append(figs,
+		Figure{
+			ID:     "scaling-ingest",
+			Title:  "Store Ingest Throughput vs Parallelism — " + datagen.Car.String(),
+			XLabel: "workers",
+			YLabel: "points/s observed",
+			Series: []Series{*thr[false], *thr[true]},
+		},
+		Figure{
+			ID:     "scaling-observe-latency",
+			Title:  "Worst ObserveBatch Latency vs Parallelism — " + datagen.Car.String(),
+			XLabel: "workers",
+			YLabel: "max batch latency (ms)",
+			Series: []Series{*lat[false], *lat[true]},
+		},
+	)
+	return figs
+}

@@ -1,0 +1,73 @@
+// Package parallel provides the bounded fan-out primitive the training
+// pipeline is parallelized with. Every call site follows the same
+// discipline: workers compute into per-index slots and the caller merges
+// the slots in index order, so results are byte-identical to a serial run
+// regardless of the worker count — the determinism guarantee
+// Params.Parallelism documents.
+package parallel
+
+import "sync"
+
+// Workers resolves a parallelism knob: values >= 1 pass through, anything
+// else means "one worker" (serial). Callers that want a hardware default
+// resolve runtime.GOMAXPROCS themselves before handing the value down, so
+// the resolved count can be recorded and replayed.
+func Workers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n), fanning the indices across at most
+// workers goroutines. With workers <= 1 (or n <= 1) it degenerates to a
+// plain loop on the calling goroutine — no goroutines, no channels — so the
+// serial path stays allocation-free and trivially deterministic.
+//
+// Indices are handed out in blocks via an atomic-free striding scheme:
+// worker w processes i = w, w+workers, w+2*workers, ... Striding keeps
+// adjacent indices on different workers, which balances pipelines whose
+// cost varies smoothly with the index (per-offset DBSCAN groups, Apriori
+// join runs).
+//
+// fn must not panic across goroutines silently: panics are re-raised on the
+// caller after all workers finish.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

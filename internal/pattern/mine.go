@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hpm/internal/bitkey"
+	"hpm/internal/parallel"
 )
 
 // Config controls the Apriori stage of pattern discovery. The DBSCAN stage
@@ -43,6 +44,12 @@ type Config struct {
 	// enumeration costs a multiple of the mining itself, so it is off by
 	// default and enabled by the pruning-effect ablation.
 	CountUnpruned bool
+	// Parallelism caps how many goroutines count candidate supports per
+	// Apriori level; <= 1 mines serially. Any value produces identical
+	// patterns in identical order — candidates are generated per join
+	// position and merged in position order. Runtime-only: not part of a
+	// model's persistent identity.
+	Parallelism int `json:"-"`
 }
 
 // Defaults for Config fields left at their zero value.
@@ -208,72 +215,98 @@ func MineWithStats(rt *RegionTable, cfg Config) ([]Pattern, Stats) {
 
 // joinLevel performs the Apriori join+prune+count step producing the frequent
 // k-itemsets from the frequent (k-1)-itemsets, honouring the paper's
-// monotone-time constraint and the premise-span bound.
+// monotone-time constraint and the premise-span bound. With
+// cfg.Parallelism > 1 the per-position join/count work fans across a
+// bounded worker pool; results merge in join-position order, so the output
+// is identical to the serial run.
 func joinLevel(rt *RegionTable, level []itemset, k int, cfg Config, stats *Stats) []itemset {
-	minSup := cfg.MinSupport
-	// Index the previous level for the subset-pruning test.
-	prev := make(map[string]bool, len(level))
-	for _, it := range level {
-		prev[itemsetKey(it.ids)] = true
-	}
-
-	var next []itemset
 	// Group the (k-1)-itemsets by their first k-2 ids; itemsets inside a
 	// group join pairwise. The previous level is generated in ascending id
-	// order, so groups are contiguous runs.
+	// order, so groups are contiguous runs. groupEnd[i] is the end of i's
+	// run.
+	groupEnd := make([]int, len(level))
 	for lo := 0; lo < len(level); {
 		hi := lo + 1
 		for hi < len(level) && samePrefix(level[lo].ids, level[hi].ids) {
 			hi++
 		}
 		for i := lo; i < hi; i++ {
-			a := level[i]
-			lastA := a.ids[len(a.ids)-1]
-			offLastA := rt.Region(lastA).Offset
-			// The premise of every k-itemset joined from a is exactly
-			// a.ids; its offset span is loop-invariant, so a too-wide a
-			// skips all joins at once.
-			if cfg.PremiseSpan >= 0 && k > 2 {
-				if offLastA-rt.Region(a.ids[0]).Offset > cfg.PremiseSpan {
-					continue
-				}
-			}
-			for j := i + 1; j < hi; j++ {
-				b := level[j]
-				lastB := b.ids[len(b.ids)-1]
-				offLastB := rt.Region(lastB).Offset
-				// Monotone time: every region in a pattern occupies its own
-				// offset; ids ascend with offsets, so only the new adjacent
-				// pair needs the strictness check.
-				if offLastB == offLastA {
-					continue
-				}
-				// Multi-premise patterns only refine near-future queries;
-				// cap how far their consequence reaches. The previous level
-				// is sorted, so once one consequence is too far every later
-				// one is as well.
-				if cfg.ConsequenceReach >= 0 && k > 2 {
-					if offLastB-offLastA > cfg.ConsequenceReach {
-						break
-					}
-				}
-				cand := make([]RegionID, 0, k)
-				cand = append(cand, a.ids...)
-				cand = append(cand, lastB)
-				if !allSubsetsFrequent(cand, prev) {
-					continue
-				}
-				stats.Candidates++
-				visitors := a.visitors.And(b.visitors)
-				sup := visitors.Size()
-				if sup >= minSup {
-					next = append(next, itemset{ids: cand, visitors: visitors, support: sup})
-				}
-			}
+			groupEnd[i] = hi
 		}
 		lo = hi
 	}
+
+	// Index the previous level for the subset-pruning test. Workers only
+	// read the map, which is safe concurrently.
+	prev := make(map[string]bool, len(level))
+	for _, it := range level {
+		prev[itemsetKey(it.ids)] = true
+	}
+
+	perPos := make([][]itemset, len(level))
+	counted := make([]int, len(level))
+	parallel.For(len(level), parallel.Workers(cfg.Parallelism), func(i int) {
+		perPos[i], counted[i] = joinAt(rt, level, i, groupEnd[i], k, cfg, prev)
+	})
+
+	var next []itemset
+	for i := range perPos {
+		next = append(next, perPos[i]...)
+		stats.Candidates += counted[i]
+	}
 	return next
+}
+
+// joinAt generates and support-counts every candidate k-itemset whose join
+// parent a is level[i], joining against level[i+1:hi) (a's prefix group).
+// It returns the surviving frequent itemsets in join order plus how many
+// candidates were counted.
+func joinAt(rt *RegionTable, level []itemset, i, hi, k int, cfg Config, prev map[string]bool) (next []itemset, candidates int) {
+	minSup := cfg.MinSupport
+	a := level[i]
+	lastA := a.ids[len(a.ids)-1]
+	offLastA := rt.Region(lastA).Offset
+	// The premise of every k-itemset joined from a is exactly a.ids; its
+	// offset span is loop-invariant, so a too-wide a skips all joins at
+	// once.
+	if cfg.PremiseSpan >= 0 && k > 2 {
+		if offLastA-rt.Region(a.ids[0]).Offset > cfg.PremiseSpan {
+			return nil, 0
+		}
+	}
+	for j := i + 1; j < hi; j++ {
+		b := level[j]
+		lastB := b.ids[len(b.ids)-1]
+		offLastB := rt.Region(lastB).Offset
+		// Monotone time: every region in a pattern occupies its own
+		// offset; ids ascend with offsets, so only the new adjacent
+		// pair needs the strictness check.
+		if offLastB == offLastA {
+			continue
+		}
+		// Multi-premise patterns only refine near-future queries;
+		// cap how far their consequence reaches. The previous level
+		// is sorted, so once one consequence is too far every later
+		// one is as well.
+		if cfg.ConsequenceReach >= 0 && k > 2 {
+			if offLastB-offLastA > cfg.ConsequenceReach {
+				break
+			}
+		}
+		cand := make([]RegionID, 0, k)
+		cand = append(cand, a.ids...)
+		cand = append(cand, lastB)
+		if !allSubsetsFrequent(cand, prev) {
+			continue
+		}
+		candidates++
+		visitors := a.visitors.And(b.visitors)
+		sup := visitors.Size()
+		if sup >= minSup {
+			next = append(next, itemset{ids: cand, visitors: visitors, support: sup})
+		}
+	}
+	return next, candidates
 }
 
 func samePrefix(a, b []RegionID) bool {

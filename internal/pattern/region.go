@@ -23,6 +23,7 @@ import (
 	"hpm/internal/bitkey"
 	"hpm/internal/cluster"
 	"hpm/internal/geom"
+	"hpm/internal/parallel"
 	"hpm/internal/trajectory"
 )
 
@@ -62,16 +63,30 @@ func (fr *FrequentRegion) String() string {
 type RegionTable struct {
 	regions  []*FrequentRegion
 	byOffset map[int][]*FrequentRegion
-	eps      float64
-	numSubs  int
+	// locate holds the per-offset query index: regions sorted by center X
+	// with the scan radius that makes an early-exit window search exact.
+	locate  map[int]*offsetIndex
+	eps     float64
+	numSubs int
 }
 
 // DiscoverRegions runs DBSCAN over every time-offset group and assembles
 // the region table. groups must all have the same number of points (one per
-// sub-trajectory), as produced by trajectory.Groups.
+// sub-trajectory), as produced by trajectory.Groups. It is the serial form
+// of DiscoverRegionsParallel.
 func DiscoverRegions(groups []trajectory.Group, eps float64, minPts int) *RegionTable {
+	return DiscoverRegionsParallel(groups, eps, minPts, 1)
+}
+
+// DiscoverRegionsParallel is DiscoverRegions with the per-offset DBSCAN
+// runs fanned across at most workers goroutines. Each group clusters
+// independently and the per-group results are merged in offset order, so
+// region IDs, indices, centers, MBRs and visitor bitmaps are identical to
+// the serial build for any worker count.
+func DiscoverRegionsParallel(groups []trajectory.Group, eps float64, minPts, workers int) *RegionTable {
 	rt := &RegionTable{byOffset: make(map[int][]*FrequentRegion), eps: eps}
 	if len(groups) == 0 {
+		rt.buildLocateIndex()
 		return rt
 	}
 	rt.numSubs = len(groups[0].Points)
@@ -79,7 +94,14 @@ func DiscoverRegions(groups []trajectory.Group, eps float64, minPts int) *Region
 		if len(g.Points) != rt.numSubs {
 			panic(fmt.Sprintf("pattern: group %d has %d points, want %d", g.Offset, len(g.Points), rt.numSubs))
 		}
+	}
+	// Cluster every group independently into its own slot; IDs are assigned
+	// afterwards, in group order, exactly as the serial loop would.
+	perGroup := make([][]*FrequentRegion, len(groups))
+	parallel.For(len(groups), parallel.Workers(workers), func(gi int) {
+		g := groups[gi]
 		res := cluster.DBSCAN(g.Points, eps, minPts)
+		regions := make([]*FrequentRegion, 0, res.NumClusters)
 		for c := 0; c < res.NumClusters; c++ {
 			members := res.Members(c)
 			pts := make([]geom.Point, len(members))
@@ -88,17 +110,22 @@ func DiscoverRegions(groups []trajectory.Group, eps float64, minPts int) *Region
 				pts[i] = g.Points[j]
 				visitors.Set(j + 1)
 			}
-			fr := &FrequentRegion{
-				ID:       RegionID(len(rt.regions)),
+			regions = append(regions, &FrequentRegion{
 				Offset:   g.Offset,
 				Index:    c,
 				Center:   geom.Centroid(pts),
 				MBR:      geom.RectFromPoints(pts),
 				Support:  len(members),
 				visitors: visitors,
-			}
+			})
+		}
+		perGroup[gi] = regions
+	})
+	for _, regions := range perGroup {
+		for _, fr := range regions {
+			fr.ID = RegionID(len(rt.regions))
 			rt.regions = append(rt.regions, fr)
-			rt.byOffset[g.Offset] = append(rt.byOffset[g.Offset], fr)
+			rt.byOffset[fr.Offset] = append(rt.byOffset[fr.Offset], fr)
 		}
 	}
 	// trajectory.Groups emits offsets in ascending order, so ids are already
@@ -121,6 +148,7 @@ func DiscoverRegions(groups []trajectory.Group, eps float64, minPts int) *Region
 			fr.ID = RegionID(i)
 		}
 	}
+	rt.buildLocateIndex()
 	return rt
 }
 
@@ -151,20 +179,91 @@ func (rt *RegionTable) Regions() []*FrequentRegion { return rt.regions }
 // AtOffset returns the frequent regions at time offset t (possibly none).
 func (rt *RegionTable) AtOffset(t int) []*FrequentRegion { return rt.byOffset[t] }
 
+// offsetIndex accelerates Locate at one time offset: the offset's regions
+// sorted by center X, plus the largest horizontal reach any of them has —
+// the distance from a region's center beyond which a query point can match
+// it neither by MBR containment nor by the Eps center rule. A query then
+// scans only the X-window [p.X - maxReach, p.X + maxReach] of the sorted
+// slice instead of every region at the offset.
+type offsetIndex struct {
+	byX      []*FrequentRegion
+	maxReach float64
+}
+
+// reachX returns how far (along X) a matching query point can lie from the
+// region's center: inside the MBR (whose centroid need not be its middle)
+// or within eps of the center.
+func reachX(fr *FrequentRegion, eps float64) float64 {
+	r := fr.Center.X - fr.MBR.Min.X
+	if d := fr.MBR.Max.X - fr.Center.X; d > r {
+		r = d
+	}
+	if eps > r {
+		r = eps
+	}
+	return r
+}
+
+// buildLocateIndex (re)builds the per-offset query index. Called once at
+// discovery/deserialization time; Absorb only widens visitor bitmaps and
+// supports, never geometry, so the index stays valid afterwards.
+func (rt *RegionTable) buildLocateIndex() {
+	rt.locate = make(map[int]*offsetIndex, len(rt.byOffset))
+	for off, regions := range rt.byOffset {
+		ix := &offsetIndex{byX: make([]*FrequentRegion, len(regions))}
+		copy(ix.byX, regions)
+		sort.SliceStable(ix.byX, func(a, b int) bool {
+			return ix.byX[a].Center.X < ix.byX[b].Center.X
+		})
+		for _, fr := range ix.byX {
+			if r := reachX(fr, rt.eps); r > ix.maxReach {
+				ix.maxReach = r
+			}
+		}
+		rt.locate[off] = ix
+	}
+}
+
 // Locate maps a location observed at time offset t to the frequent region
-// it belongs to: first by bounding-box containment, then — to tolerate
-// query noise — the nearest region whose center lies within Eps. The
-// boolean is false when no region at that offset matches.
+// it belongs to: first by bounding-box containment (ties to the lowest
+// region index, matching scan order), then — to tolerate query noise — the
+// nearest region whose center lies within Eps. The boolean is false when no
+// region at that offset matches.
+//
+// The scan is bounded: regions are indexed by center X per offset, so only
+// those whose horizontal reach can cover p are examined, instead of every
+// region at the offset.
 func (rt *RegionTable) Locate(t int, p geom.Point) (*FrequentRegion, bool) {
+	ix := rt.locate[t]
+	if ix == nil {
+		return nil, false
+	}
+	lo := sort.Search(len(ix.byX), func(i int) bool {
+		return ix.byX[i].Center.X >= p.X-ix.maxReach
+	})
+	var contain *FrequentRegion
 	var best *FrequentRegion
 	bestDist := rt.eps
-	for _, fr := range rt.byOffset[t] {
-		if fr.MBR.Contains(p) {
-			return fr, true
+	for i := lo; i < len(ix.byX); i++ {
+		fr := ix.byX[i]
+		if fr.Center.X-p.X > ix.maxReach {
+			break
 		}
-		if d := fr.Center.Dist(p); d <= bestDist {
+		if fr.MBR.Contains(p) {
+			if contain == nil || fr.Index < contain.Index {
+				contain = fr
+			}
+			continue
+		}
+		if contain != nil {
+			continue
+		}
+		if d := fr.Center.Dist(p); d < bestDist || (d == bestDist && (best == nil || fr.Index > best.Index)) {
 			best, bestDist = fr, d
 		}
+	}
+	if contain != nil {
+		return contain, true
 	}
 	return best, best != nil
 }

@@ -191,6 +191,9 @@ func ReadRegionTable(r io.Reader) (*RegionTable, error) {
 		rt.regions = append(rt.regions, fr)
 		rt.byOffset[fr.Offset] = append(rt.byOffset[fr.Offset], fr)
 	}
+	if s.err == nil {
+		rt.buildLocateIndex()
+	}
 	return rt, s.err
 }
 

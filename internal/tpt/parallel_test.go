@@ -1,0 +1,77 @@
+package tpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpm/internal/bitkey"
+)
+
+func randomItems(rng *rand.Rand, n, ckLen, rkLen int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		k := bitkey.NewPatternKey(ckLen, rkLen)
+		k.CK.Set(1 + rng.Intn(ckLen))
+		for b := 0; b <= rng.Intn(3); b++ {
+			k.RK.Set(1 + rng.Intn(rkLen))
+		}
+		items[i] = Item{Key: k, Conf: rng.Float64(), Ref: i}
+	}
+	return items
+}
+
+// TestBulkLoadParallelEquivalence: the parallel sorted-run phase must yield
+// the same tree as the serial sort for any worker count, including items
+// with duplicate keys (tie-break by Ref keeps the order total).
+func TestBulkLoadParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const ckLen, rkLen = 40, 200
+	items := randomItems(rng, 20000, ckLen, rkLen)
+	// Inject duplicate keys to exercise tie-breaking across run borders.
+	for i := 0; i < 2000; i++ {
+		j := rng.Intn(len(items))
+		items[i] = Item{Key: items[j].Key, Conf: items[i].Conf, Ref: items[i].Ref}
+	}
+
+	serial := BulkLoad(ckLen, rkLen, items, Options{Parallelism: 1})
+	for _, workers := range []int{2, 4, 8} {
+		par := BulkLoad(ckLen, rkLen, items, Options{Parallelism: workers})
+		if serial.Stats() != par.Stats() {
+			t.Fatalf("workers=%d: tree stats differ:\nserial:   %+v\nparallel: %+v",
+				workers, serial.Stats(), par.Stats())
+		}
+		var a, b []Item
+		serial.All(func(it Item) bool { a = append(a, it); return true })
+		par.All(func(it Item) bool { b = append(b, it); return true })
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: item counts %d vs %d", workers, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Ref != b[i].Ref || a[i].Conf != b[i].Conf || !a[i].Key.CK.Equal(b[i].Key.CK) || !a[i].Key.RK.Equal(b[i].Key.RK) {
+				t.Fatalf("workers=%d: leaf order diverges at %d: %+v vs %+v", workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSortItemsMatchesStableSort pins the parallel merge to the serial
+// stable sort on adversarial sizes (odd lengths, many runs, tiny runs).
+func TestSortItemsMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 1023, 1024, 4097, 10000} {
+		items := randomItems(rng, n, 10, 50)
+		want := make([]Item, n)
+		copy(want, items)
+		sortItems(want, 1)
+		for _, workers := range []int{2, 3, 7, 16} {
+			got := make([]Item, n)
+			copy(got, items)
+			sortItems(got, workers)
+			for i := range got {
+				if got[i].Ref != want[i].Ref {
+					t.Fatalf("n=%d workers=%d: order diverges at %d", n, workers, i)
+				}
+			}
+		}
+	}
+}

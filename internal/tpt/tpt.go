@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"hpm/internal/bitkey"
+	"hpm/internal/parallel"
 )
 
 // Item is one indexed trajectory pattern: its pattern key, its confidence,
@@ -36,6 +37,12 @@ type Options struct {
 	// (line 7-8 of Algorithm 1) so the descent degenerates to the plain
 	// signature-tree difference heuristic. Exists for the ablation bench.
 	DisableIntersectStep bool
+	// Parallelism caps how many goroutines BulkLoad's sorted-run phase
+	// uses; <= 1 sorts serially. The parallel path sorts contiguous runs
+	// concurrently and merges them stably, so the loaded tree is identical
+	// to a serial build for any value. Runtime-only: not part of a tree's
+	// persistent identity.
+	Parallelism int `json:"-"`
 }
 
 // DefaultMaxEntries is the default node capacity.
@@ -317,12 +324,7 @@ func BulkLoad(ckLen, rkLen int, items []Item, opts Options) *Tree {
 	}
 	sorted := make([]Item, len(items))
 	copy(sorted, items)
-	sort.Slice(sorted, func(i, j int) bool {
-		if c := compareKeys(sorted[i].Key, sorted[j].Key); c != 0 {
-			return c < 0
-		}
-		return sorted[i].Ref < sorted[j].Ref // deterministic tie-break
-	})
+	sortItems(sorted, opts.Parallelism)
 	for _, it := range sorted {
 		t.checkKey(it.Key)
 	}
@@ -401,4 +403,79 @@ func compareKeys(a, b bitkey.PatternKey) int {
 		return c
 	}
 	return a.RK.Compare(b.RK)
+}
+
+// itemLess is BulkLoad's sort order: key order with Ref as tie-break.
+func itemLess(a, b Item) bool {
+	if c := compareKeys(a.Key, b.Key); c != 0 {
+		return c < 0
+	}
+	return a.Ref < b.Ref // deterministic tie-break
+}
+
+// sortItems orders items for bulk loading. With workers > 1 the slice is
+// cut into contiguous runs, the runs sort concurrently, and sorted runs
+// merge pairwise with ties resolved to the left (earlier) run — a stable
+// merge of stable runs, so the result equals the serial stable sort
+// byte-for-byte regardless of the worker count.
+func sortItems(items []Item, workers int) {
+	workers = parallel.Workers(workers)
+	// Tiny inputs gain nothing from fan-out; the goroutine overhead
+	// dominates below a few thousand comparisons per run.
+	const minRun = 1024
+	if workers > 1 && len(items)/workers < minRun {
+		workers = len(items) / minRun
+	}
+	if workers <= 1 {
+		sort.SliceStable(items, func(i, j int) bool { return itemLess(items[i], items[j]) })
+		return
+	}
+	// Cut into `workers` contiguous runs.
+	bounds := make([][2]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * len(items) / workers
+		hi := (w + 1) * len(items) / workers
+		if lo < hi {
+			bounds = append(bounds, [2]int{lo, hi})
+		}
+	}
+	parallel.For(len(bounds), workers, func(r int) {
+		run := items[bounds[r][0]:bounds[r][1]]
+		sort.SliceStable(run, func(i, j int) bool { return itemLess(run[i], run[j]) })
+	})
+	// Pairwise merge rounds until one run remains.
+	scratch := make([]Item, len(items))
+	for len(bounds) > 1 {
+		var merged [][2]int
+		for i := 0; i < len(bounds); i += 2 {
+			if i+1 == len(bounds) {
+				merged = append(merged, bounds[i])
+				continue
+			}
+			lo, mid, hi := bounds[i][0], bounds[i][1], bounds[i+1][1]
+			mergeRuns(items, scratch, lo, mid, hi)
+			merged = append(merged, [2]int{lo, hi})
+		}
+		bounds = merged
+	}
+}
+
+// mergeRuns stably merges the sorted runs items[lo:mid] and items[mid:hi]
+// in place via the scratch buffer; ties go to the left run.
+func mergeRuns(items, scratch []Item, lo, mid, hi int) {
+	i, j, o := lo, mid, lo
+	for i < mid && j < hi {
+		if itemLess(items[j], items[i]) {
+			scratch[o] = items[j]
+			j++
+		} else {
+			scratch[o] = items[i]
+			i++
+		}
+		o++
+	}
+	copy(scratch[o:], items[i:mid])
+	o += mid - i
+	copy(scratch[o:], items[j:hi])
+	copy(items[lo:hi], scratch[lo:hi])
 }

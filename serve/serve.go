@@ -2,6 +2,7 @@
 // tracking backend would embed:
 //
 //	POST /objects/{id}/observe       {"points": [[x, y], ...]}
+//	POST /flush                      drain background trains
 //	GET  /objects                    -> {"objects": ["bus-7", ...]}
 //	GET  /objects/{id}/stats         -> object summary
 //	GET  /objects/{id}/predict?tq=N&k=K        (or horizon=H instead of tq)
@@ -34,6 +35,15 @@ func Handler(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("POST /objects/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
 		handleObserve(st, w, r)
+	})
+	// Flush drains background (re)trains: afterwards every prior observe
+	// is reflected in the models. Training failures surface here.
+	mux.HandleFunc("POST /flush", func(w http.ResponseWriter, r *http.Request) {
+		if err := st.Flush(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errBody(err.Error()))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
 	})
 	mux.HandleFunc("GET /objects/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
 		stats, err := st.Stats(r.PathValue("id"))
@@ -81,8 +91,9 @@ func handleObserve(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	now, _ := st.Now(id)
 	stats, _ := st.Stats(id)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"now":     now,
-		"trained": stats.Trained,
+		"now":      now,
+		"trained":  stats.Trained,
+		"training": stats.Training,
 	})
 }
 

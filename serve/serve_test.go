@@ -41,6 +41,24 @@ func observeBody(t *testing.T, pts []hpm.Point) *bytes.Buffer {
 	return &buf
 }
 
+// getFlush drains the store's background trains through the HTTP API.
+func getFlush(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(base+"/flush", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /flush: status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
 func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -78,12 +96,16 @@ func TestObserveAndPredictEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ob); err != nil {
 		t.Fatal(err)
 	}
-	if ob["trained"] != true {
-		t.Fatalf("not trained after 5 periods: %v", ob)
-	}
 	now := int(ob["now"].(float64))
 	if now != tr.Len()-1 {
 		t.Fatalf("now = %d, want %d", now, tr.Len()-1)
+	}
+
+	// Training runs in the background; drain it before asserting on the
+	// model.
+	flush := getFlush(t, srv.URL)
+	if flush["flushed"] != true {
+		t.Fatalf("flush = %v", flush)
 	}
 
 	// List.
@@ -162,6 +184,9 @@ func TestErrorStatuses(t *testing.T) {
 	spec.SubTrajectories = 4
 	tr := hpm.GenerateDataset(spec)
 	if err := st.ObserveBatch("bike", tr.Points()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	getJSON(t, srv.URL+"/objects/bike/predict?tq=5", http.StatusBadRequest)

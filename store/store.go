@@ -14,6 +14,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -40,6 +41,14 @@ type Options struct {
 	// MaxRecent is the recent-movement window handed to queries. Values
 	// <= 0 default to DefaultMaxRecent.
 	MaxRecent int
+	// TrainWorkers bounds how many full (re)trains may run concurrently
+	// across all objects. Values <= 0 default to runtime.NumCPU().
+	TrainWorkers int
+	// SynchronousTraining runs full (re)trains inline on the observing
+	// goroutine, as the store did before background training existed.
+	// Useful for benchmark baselines and for callers that want train
+	// errors returned directly from ObserveBatch.
+	SynchronousTraining bool
 }
 
 // Defaults for Options fields left at their zero value.
@@ -58,6 +67,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRecent <= 0 {
 		o.MaxRecent = DefaultMaxRecent
 	}
+	if o.TrainWorkers <= 0 {
+		o.TrainWorkers = runtime.NumCPU()
+	}
 	o.Config.SubTrajectories = 0
 	return o
 }
@@ -70,11 +82,36 @@ var ErrUntrained = errors.New("store: object not yet trained")
 var ErrUnknownObject = errors.New("store: unknown object")
 
 // Store tracks many objects. All methods are safe for concurrent use.
+//
+// Full (re)trains are expensive — region discovery, pattern mining and an
+// index rebuild over the whole history — so by default they run on a
+// bounded background pool instead of the observing goroutine: ObserveBatch
+// snapshots the completed-period prefix, hands it to a trainer, and
+// returns; the object's previous predictor (if any) keeps answering
+// queries until the freshly trained one is swapped in under the object's
+// lock. Incremental Extends are cheap and stay synchronous. Flush drains
+// pending trains (tests, checkpoints); Close drains and stops scheduling.
 type Store struct {
 	opts Options
 
 	mu      sync.RWMutex
 	objects map[string]*object
+
+	// Background-training machinery. pending counts scheduled trains not
+	// yet swapped in; trainCond broadcasts when it reaches zero; trainSem
+	// bounds concurrent trains to Options.TrainWorkers; trainErrs collects
+	// failures until the next Flush/Close reports them.
+	trainMu   sync.Mutex
+	trainCond *sync.Cond
+	pending   int
+	closed    bool
+	trainErrs []error
+	trainSem  chan struct{}
+
+	// beforeTrain, when set, runs on the trainer goroutine right before
+	// the model is trained. Test hook: lets tests hold a train in flight
+	// and observe the store mid-retrain. Set it before any trains start.
+	beforeTrain func()
 }
 
 type object struct {
@@ -86,6 +123,9 @@ type object struct {
 	modeled int
 	// sinceRetrain counts periods absorbed since the last full train.
 	sinceRetrain int
+	// training marks an in-flight background (re)train; further model
+	// updates are deferred until the trained predictor is swapped in.
+	training bool
 }
 
 // New returns an empty store. Config.Period must be positive.
@@ -93,7 +133,10 @@ func New(opts Options) (*Store, error) {
 	if opts.Config.Period <= 0 {
 		return nil, errors.New("store: Options.Config.Period must be positive")
 	}
-	return &Store{opts: opts.withDefaults(), objects: map[string]*object{}}, nil
+	s := &Store{opts: opts.withDefaults(), objects: map[string]*object{}}
+	s.trainCond = sync.NewCond(&s.trainMu)
+	s.trainSem = make(chan struct{}, s.opts.TrainWorkers)
+	return s, nil
 }
 
 // Period returns the configured pattern period.
@@ -121,8 +164,9 @@ func (s *Store) get(id string, create bool) (*object, error) {
 
 // Observe appends the object's location at its next timestamp (locations
 // arrive in order, one per tick). Crossing a period boundary may trigger a
-// synchronous model update: the first train once MinTrainPeriods complete
-// periods exist, then incremental extends and optional periodic retrains.
+// model update: incremental extends run inline, while the first train and
+// periodic retrains are handed to the background pool (unless
+// SynchronousTraining is set) — use Flush to wait for them.
 func (s *Store) Observe(id string, loc hpm.Point) error {
 	return s.ObserveBatch(id, []hpm.Point{loc})
 }
@@ -145,6 +189,11 @@ func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 // maybeUpdate trains, extends or retrains the object's model according to
 // the configured policy. Called with obj.mu held.
 func (s *Store) maybeUpdate(obj *object) error {
+	if obj.training {
+		// A background (re)train is in flight; it re-runs this check
+		// after the swap to absorb periods completed meanwhile.
+		return nil
+	}
 	period := s.opts.Config.Period
 	completed := len(obj.track) / period
 
@@ -152,14 +201,14 @@ func (s *Store) maybeUpdate(obj *object) error {
 		if completed < s.opts.MinTrainPeriods {
 			return nil
 		}
-		return s.train(obj, completed)
+		return s.startTrain(obj, completed)
 	}
 	newPeriods := completed - obj.modeled
 	if newPeriods <= 0 {
 		return nil
 	}
 	if s.opts.RetrainEvery > 0 && obj.sinceRetrain+newPeriods >= s.opts.RetrainEvery {
-		return s.train(obj, completed)
+		return s.startTrain(obj, completed)
 	}
 	if newPeriods < s.opts.ExtendEvery {
 		return nil
@@ -170,6 +219,17 @@ func (s *Store) maybeUpdate(obj *object) error {
 	}
 	obj.sinceRetrain += newPeriods
 	obj.modeled = completed
+	return nil
+}
+
+// startTrain dispatches a full (re)train of obj's first completed periods:
+// inline under SynchronousTraining, otherwise to the background pool.
+// Called with obj.mu held.
+func (s *Store) startTrain(obj *object, completed int) error {
+	if s.opts.SynchronousTraining {
+		return s.train(obj, completed)
+	}
+	s.scheduleTrain(obj, completed)
 	return nil
 }
 
@@ -186,6 +246,88 @@ func (s *Store) train(obj *object, completed int) error {
 	obj.modeled = completed
 	obj.sinceRetrain = 0
 	return nil
+}
+
+// scheduleTrain snapshots the completed-period prefix and hands it to a
+// background trainer. No-op when a train for obj is already in flight
+// (later periods are absorbed by the post-swap catch-up) or the store is
+// closed. Called with obj.mu held.
+func (s *Store) scheduleTrain(obj *object, completed int) {
+	s.trainMu.Lock()
+	if s.closed {
+		s.trainMu.Unlock()
+		return
+	}
+	s.pending++
+	s.trainMu.Unlock()
+	obj.training = true
+	// Snapshot: the track keeps growing under obj.mu while the trainer
+	// runs, so the trainer must own its input.
+	pts := append([]hpm.Point(nil), obj.track[:completed*s.opts.Config.Period]...)
+	go s.runTrain(obj, pts, completed)
+}
+
+// runTrain is the background trainer: it trains a fresh predictor off the
+// snapshot without holding any lock, swaps it in under obj.mu, and re-runs
+// the update policy to catch up on periods completed during training.
+func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
+	s.trainSem <- struct{}{}
+	if hook := s.beforeTrain; hook != nil {
+		hook()
+	}
+	p, err := hpm.TrainPoints(pts, s.opts.Config)
+	<-s.trainSem
+
+	obj.mu.Lock()
+	obj.training = false
+	if err != nil {
+		err = fmt.Errorf("store: train: %w", err)
+	} else {
+		obj.predictor = p
+		obj.modeled = completed
+		obj.sinceRetrain = 0
+		// Catch up: extend (or re-schedule a retrain) over periods that
+		// completed while this train was running.
+		if uerr := s.maybeUpdate(obj); uerr != nil {
+			err = uerr
+		}
+	}
+	obj.mu.Unlock()
+
+	s.trainMu.Lock()
+	if err != nil {
+		s.trainErrs = append(s.trainErrs, err)
+	}
+	s.pending--
+	if s.pending == 0 {
+		s.trainCond.Broadcast()
+	}
+	s.trainMu.Unlock()
+}
+
+// Flush blocks until no background trains are pending — including any
+// catch-up trains they schedule — and returns their accumulated errors
+// (nil when training succeeded or nothing was pending). After Flush, every
+// Observe made before the call is reflected in the objects' models.
+func (s *Store) Flush() error {
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	for s.pending > 0 {
+		s.trainCond.Wait()
+	}
+	err := errors.Join(s.trainErrs...)
+	s.trainErrs = nil
+	return err
+}
+
+// Close drains pending background trains and stops scheduling new ones.
+// Observations and queries still work after Close, but models are no
+// longer retrained. Returns any accumulated training errors.
+func (s *Store) Close() error {
+	s.trainMu.Lock()
+	s.closed = true
+	s.trainMu.Unlock()
+	return s.Flush()
 }
 
 // Predict estimates the object's location at absolute time tq (timestamps
@@ -254,6 +396,7 @@ type ObjectStats struct {
 	Points     int  // observations ingested
 	Periods    int  // completed periods
 	Trained    bool // has a model
+	Training   bool // a background (re)train is in flight
 	Modeled    int  // periods the model has absorbed
 	Regions    int
 	Patterns   int
@@ -271,10 +414,11 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
 	st := ObjectStats{
-		ID:      id,
-		Points:  len(obj.track),
-		Periods: len(obj.track) / s.opts.Config.Period,
-		Modeled: obj.modeled,
+		ID:       id,
+		Points:   len(obj.track),
+		Periods:  len(obj.track) / s.opts.Config.Period,
+		Training: obj.training,
+		Modeled:  obj.modeled,
 	}
 	if obj.predictor != nil {
 		st.Trained = true

@@ -31,6 +31,9 @@ func feed(t *testing.T, s *Store, id string, seed int64, periods int) *hpm.Traje
 	if err := s.ObserveBatch(id, tr.Points()); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	return tr
 }
 
@@ -51,6 +54,9 @@ func TestTrainAfterMinPeriods(t *testing.T) {
 	if err := s.ObserveBatch("bike", tr.Slice(0, 3*period)); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Predict("bike", 3*period+10, 1); err != ErrUntrained {
 		t.Errorf("expected ErrUntrained, got %v", err)
 	}
@@ -59,8 +65,12 @@ func TestTrainAfterMinPeriods(t *testing.T) {
 		t.Errorf("premature training: %+v, %v", st, err)
 	}
 
-	// One more period crosses the threshold.
+	// One more period crosses the threshold; the train runs in the
+	// background, so Flush before asserting on the model.
 	if err := s.ObserveBatch("bike", tr.Slice(3*period, 4*period)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	st, _ = s.Stats("bike")
@@ -132,6 +142,9 @@ func TestRetrainPolicy(t *testing.T) {
 	spec.SubTrajectories = 5
 	tr := hpm.GenerateDataset(spec)
 	if err := s.ObserveBatch("bike", tr.Slice(3*period, 5*period)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	p2, _ := s.Predictor("bike")
@@ -221,6 +234,9 @@ func TestConcurrentObserveAndPredict(t *testing.T) {
 	wg.Wait()
 	close(errs)
 	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.Close(); err != nil {
 		t.Error(err)
 	}
 	_ = tr
