@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench bench-query
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent layers: the fleet store (background retrains),
-# the HTTP service, and the parallel training pipeline.
+# Race-check the concurrent layers: the lock-free query engine, the fleet
+# store (background retrains), the HTTP service, and the parallel training
+# pipeline.
 race:
-	$(GO) test -race ./store/... ./serve/... ./internal/core/...
+	$(GO) test -race ./internal/hpa/... ./store/... ./serve/... ./internal/core/...
 
 vet:
 	$(GO) vet ./...
@@ -19,3 +20,10 @@ vet:
 # Quick-mode benchmark per paper figure plus the micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Query-path benchmarks only: FQP/BQP micro-benches with allocation counts
+# plus the query-throughput experiment in quick mode. The full experiment
+# (and BENCH_query_throughput.json) comes from:
+#   go run ./cmd/hpmbench -experiment queries -json
+bench-query:
+	$(GO) test -bench='BenchmarkPredict(FQP|BQP)$$|BenchmarkQueryThroughput$$' -benchmem -run '^$$' .

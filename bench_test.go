@@ -76,6 +76,10 @@ func BenchmarkTimeRelaxationAblation(b *testing.B) { benchExperiment(b, "trelax"
 // Ablation: TPT ChooseLeaf Intersect step.
 func BenchmarkChooseLeafAblation(b *testing.B) { benchExperiment(b, "tpt-chooseleaf") }
 
+// Query throughput: concurrent mixed FQP/BQP/fallback queries and batch
+// amortization against a live store.
+func BenchmarkQueryThroughput(b *testing.B) { benchExperiment(b, "queries") }
+
 // --- micro-benchmarks -------------------------------------------------
 
 // benchPredictor trains one moderate Bike model for query benches.
@@ -107,8 +111,10 @@ func BenchmarkTrain(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictNear measures FQP-path queries.
-func BenchmarkPredictNear(b *testing.B) {
+// BenchmarkPredictFQP measures forward-query-path (near) predictions;
+// allocations are reported because the query path is built to be
+// allocation-lean (pooled scratch, memoized weights, heap-based top-k).
+func BenchmarkPredictFQP(b *testing.B) {
 	p, tr, spec := benchPredictor(b)
 	rng := rand.New(rand.NewSource(1))
 	queries := make([][]hpm.TimedPoint, 64)
@@ -123,6 +129,7 @@ func BenchmarkPredictNear(b *testing.B) {
 		queries[i] = recent
 		tqs[i] = tc + 20 // near: below the default distant threshold
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := i % len(queries)
@@ -132,8 +139,8 @@ func BenchmarkPredictNear(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictDistant measures BQP-path queries.
-func BenchmarkPredictDistant(b *testing.B) {
+// BenchmarkPredictBQP measures backward-query-path (distant) predictions.
+func BenchmarkPredictBQP(b *testing.B) {
 	p, tr, spec := benchPredictor(b)
 	rng := rand.New(rand.NewSource(2))
 	queries := make([][]hpm.TimedPoint, 64)
@@ -148,6 +155,7 @@ func BenchmarkPredictDistant(b *testing.B) {
 		queries[i] = recent
 		tqs[i] = tc + 80 // beyond the default distant threshold of 60
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := i % len(queries)

@@ -13,7 +13,9 @@
 //
 // With -json, each experiment additionally writes BENCH_<name>.json — a
 // machine-readable {experiment, params, series} record, with the run's
-// GOMAXPROCS captured so throughput numbers can be interpreted.
+// GOMAXPROCS captured so throughput numbers can be interpreted. A few
+// experiments publish their artifact under a better-known label (the
+// queries experiment writes BENCH_query_throughput.json).
 package main
 
 import (
@@ -92,7 +94,7 @@ func main() {
 			}
 		}
 		if *jsonOut {
-			if err := writeJSON(n, opts, figs); err != nil {
+			if err := writeJSON(e.OutputName(), opts, figs); err != nil {
 				fmt.Fprintln(os.Stderr, "hpmbench:", err)
 				os.Exit(1)
 			}

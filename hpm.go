@@ -258,6 +258,17 @@ func (p *Predictor) PredictRange(recent []TimedPoint, from, to int) ([]Predictio
 	return p.model.PredictRange(recent, from, to)
 }
 
+// PredictBatch answers one query per entry of tqs from the same recent
+// window, returning up to k ranked predictions per time in input order.
+// The recent movements are encoded once and the motion fallback, when any
+// time needs it, is fitted once and shared — so a batch of m queries costs
+// one premise encoding and at most one model construction instead of m of
+// each. Times nothing can answer yield a nil entry. Safe for concurrent
+// use alongside other queries.
+func (p *Predictor) PredictBatch(recent []TimedPoint, tqs []int, k int) ([][]Prediction, error) {
+	return p.model.PredictBatch(recent, tqs, k)
+}
+
 // Save serializes the trained predictor to a versioned binary stream:
 // parameters, world bounds, the frequent-region table (with visitor
 // bitmaps, so Extend keeps working after a reload) and the pattern list.

@@ -341,6 +341,13 @@ func (m *Model) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]hp
 	return m.engine.PredictRange(recent, from, to)
 }
 
+// PredictBatch answers one query per time in tqs from the same recent
+// window, amortizing premise encoding and motion-function fitting across
+// the batch. See hpa.Engine.PredictBatch.
+func (m *Model) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) ([][]hpa.Prediction, error) {
+	return m.engine.PredictBatch(recent, tqs, k)
+}
+
 // NumRegions returns the number of frequent regions discovered.
 func (m *Model) NumRegions() int { return m.regions.Len() }
 

@@ -83,7 +83,18 @@ func (f Figure) WriteTable(w io.Writer) {
 type Experiment struct {
 	Name        string
 	Description string
-	Run         func(Options) []Figure
+	// JSONName labels the machine-readable artifact (BENCH_<JSONName>.json)
+	// when that differs from the experiment name; empty means Name.
+	JSONName string
+	Run      func(Options) []Figure
+}
+
+// OutputName is the label for the experiment's JSON artifact.
+func (e Experiment) OutputName() string {
+	if e.JSONName != "" {
+		return e.JSONName
+	}
+	return e.Name
 }
 
 // registry holds all experiments keyed by name.
@@ -91,6 +102,12 @@ var registry = map[string]Experiment{}
 
 func register(name, desc string, run func(Options) []Figure) {
 	registry[name] = Experiment{Name: name, Description: desc, Run: run}
+}
+
+// registerJSON registers an experiment whose JSON artifact carries a
+// different, better-known name than the experiment itself.
+func registerJSON(name, jsonName, desc string, run func(Options) []Figure) {
+	registry[name] = Experiment{Name: name, Description: desc, JSONName: jsonName, Run: run}
 }
 
 // Names returns the registered experiment names, sorted.

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hpm"
+	"hpm/internal/datagen"
+	"hpm/store"
+)
+
+func init() {
+	registerJSON("queries", "query_throughput",
+		"Query throughput: concurrent mixed FQP/BQP/fallback queries against a live store, plus batch amortization", queries)
+}
+
+// queryGoroutines is the concurrency sweep of the throughput figures.
+var queryGoroutines = []int{1, 2, 4, 8}
+
+// queryBatchSizes is the PredictBatch amortization sweep; size 1 is the
+// point-query baseline.
+var queryBatchSizes = []int{1, 4, 16, 64}
+
+// queries measures the store's concurrent query path:
+//
+//   - mixed point-query throughput (queries/s) at 1/2/4/8 goroutines —
+//     queries share the object's read lock and the engine's counters are
+//     atomic, so nothing serializes them but the scheduler. On a
+//     single-CPU host (GOMAXPROCS=1, recorded in the JSON params) the
+//     curve stays flat: the queries are CPU-bound, so concurrency buys
+//     nothing there and the win is the absence of a slowdown;
+//   - p50/p99 per-query latency and allocations per query in the same
+//     runs (the pooled scratch and memoized weights keep the latter
+//     constant across concurrency levels);
+//   - how the traffic split across the answering paths, read back from
+//     the per-object counters that survive retrains;
+//   - per-time throughput of PredictBatch as the batch size grows —
+//     premise encoding and motion fitting amortize across the times of a
+//     batch, which pays even on one CPU.
+//
+// The workload mixes three query kinds round-robin: near times on a
+// pattern-rich object (FQP), distant times on the same object (BQP), and
+// times on a nearly pattern-free drifter whose answers come from the
+// motion fallback.
+//
+// The setup is deliberate about two things. The commuter is generated
+// with low noise and high follow probability so frequent regions cover
+// every offset — FQP only answers when the recent window's offsets carry
+// regions. And each track ends half a period past the last training
+// boundary: patterns live within one period, so a track cut exactly at a
+// boundary would put every near query in the next period where no
+// premise can precede it, silencing FQP entirely.
+func queries(o Options) []Figure {
+	o = o.withDefaults()
+	const period = 300 // paper scale; quick mode shrinks the workload only
+	const periods = 12 // training periods per object
+	total := 4000      // point queries per concurrency level
+	if o.Quick {
+		total = 600
+	}
+
+	st, err := store.New(store.Options{
+		Config:              hpm.Config{Period: period},
+		MinTrainPeriods:     periods,
+		SynchronousTraining: true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: store: %v", err))
+	}
+	defer st.Close()
+
+	// A pattern-rich commuter and a noisy, rarely-following drifter: the
+	// first answers by pattern (FQP near, BQP distant), the second almost
+	// always falls through to the motion function.
+	cut := periods*period + period/2
+	spec := datagen.DefaultSpec(datagen.Car, o.Seed)
+	spec.Period, spec.SubTrajectories = period, periods+1
+	spec.FollowProb, spec.Noise = 0.95, 8
+	if err := st.ObserveBatch("car", datagen.Generate(spec).Points()[:cut]); err != nil {
+		panic(fmt.Sprintf("experiments: observe: %v", err))
+	}
+	dspec := datagen.DefaultSpec(datagen.Airplane, o.Seed+1)
+	dspec.Period, dspec.SubTrajectories = period, periods+1
+	dspec.FollowProb, dspec.Noise = 0.05, 120
+	if err := st.ObserveBatch("drifter", datagen.Generate(dspec).Points()[:cut]); err != nil {
+		panic(fmt.Sprintf("experiments: observe: %v", err))
+	}
+	carNow := mustNow(st, "car")
+	driftNow := mustNow(st, "drifter")
+
+	thr := Series{Name: "mixed point queries"}
+	p50 := Series{Name: "p50"}
+	p99 := Series{Name: "p99"}
+	allocs := Series{Name: "mixed point queries"}
+	mix := map[string]*Series{
+		"forward":  {Name: "forward %"},
+		"backward": {Name: "backward %"},
+		"fallback": {Name: "fallback %"},
+	}
+
+	prev := queryStatsSum(st)
+	for _, g := range queryGoroutines {
+		per := total / g
+		issued := per * g
+		durs := make([][]time.Duration, g)
+
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(o.Seed*1000 + int64(w)))
+				d := make([]time.Duration, 0, per)
+				for i := 0; i < per; i++ {
+					var id string
+					var tq int
+					switch i % 3 {
+					case 0: // near: FQP (horizon below DistantThreshold)
+						id, tq = "car", carNow+1+rng.Intn(40)
+					case 1: // distant: BQP
+						id, tq = "car", carNow+60+rng.Intn(120)
+					default: // drifter: motion fallback
+						id, tq = "drifter", driftNow+1+rng.Intn(180)
+					}
+					t0 := time.Now()
+					_, err := st.Predict(id, tq, 1)
+					d = append(d, time.Since(t0))
+					if err != nil {
+						panic(fmt.Sprintf("experiments: predict %s: %v", id, err))
+					}
+				}
+				durs[w] = d
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+
+		x := float64(g)
+		thr.X = append(thr.X, x)
+		thr.Y = append(thr.Y, float64(issued)/wall.Seconds())
+		lo, hi := percentiles(durs)
+		p50.X, p50.Y = append(p50.X, x), append(p50.Y, lo)
+		p99.X, p99.Y = append(p99.X, x), append(p99.Y, hi)
+		allocs.X = append(allocs.X, x)
+		allocs.Y = append(allocs.Y, float64(m1.Mallocs-m0.Mallocs)/float64(issued))
+
+		// The per-object counters partition the level's traffic by
+		// answering path; read the delta against the previous level.
+		cur := queryStatsSum(st)
+		for name, n := range map[string]int{
+			"forward":  cur.Forward - prev.Forward,
+			"backward": cur.Backward - prev.Backward,
+			"fallback": cur.Fallback - prev.Fallback,
+		} {
+			s := mix[name]
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, 100*float64(n)/float64(issued))
+		}
+		prev = cur
+	}
+
+	// Batch amortization: one goroutine, a fixed budget of predicted
+	// times, issued in batches of growing size. The premise is encoded
+	// once per batch and the fallback fitted at most once per batch.
+	// Pattern-answered times don't amortize (each still searches the
+	// index), so the commuter's curve stays flat while the fallback-bound
+	// drifter's throughput climbs with the size — the fit is the per-query
+	// cost batching removes.
+	batchFigs := map[string]*Series{
+		"car":     {Name: "car (pattern)"},
+		"drifter": {Name: "drifter (fallback)"},
+	}
+	rng := rand.New(rand.NewSource(o.Seed * 7))
+	for _, id := range []string{"car", "drifter"} {
+		now := mustNow(st, id)
+		s := batchFigs[id]
+		for _, size := range queryBatchSizes {
+			rounds := total / size
+			tqs := make([]int, size)
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				for j := range tqs {
+					tqs[j] = now + 1 + rng.Intn(170) // spans FQP and BQP
+				}
+				if _, err := st.PredictBatch(id, tqs, 1); err != nil {
+					panic(fmt.Sprintf("experiments: predict batch: %v", err))
+				}
+			}
+			s.X = append(s.X, float64(size))
+			s.Y = append(s.Y, float64(rounds*size)/time.Since(start).Seconds())
+		}
+	}
+
+	suffix := fmt.Sprintf(" — %d queries/level, GOMAXPROCS=%d", total, runtime.GOMAXPROCS(0))
+	return []Figure{
+		{
+			ID:     "queries-throughput",
+			Title:  "Query Throughput vs Goroutines" + suffix,
+			XLabel: "goroutines",
+			YLabel: "queries/s",
+			Series: []Series{thr},
+		},
+		{
+			ID:     "queries-latency",
+			Title:  "Query Latency vs Goroutines" + suffix,
+			XLabel: "goroutines",
+			YLabel: "latency (µs)",
+			Series: []Series{p50, p99},
+		},
+		{
+			ID:     "queries-allocs",
+			Title:  "Allocations per Query vs Goroutines" + suffix,
+			XLabel: "goroutines",
+			YLabel: "allocs per query",
+			Series: []Series{allocs},
+		},
+		{
+			ID:     "queries-mix",
+			Title:  "Answering Path Mix" + suffix,
+			XLabel: "goroutines",
+			YLabel: "% of queries",
+			Series: []Series{*mix["forward"], *mix["backward"], *mix["fallback"]},
+		},
+		{
+			ID:     "queries-batch",
+			Title:  "PredictBatch Amortization (1 goroutine)" + suffix,
+			XLabel: "batch size",
+			YLabel: "predicted times/s",
+			Series: []Series{*batchFigs["car"], *batchFigs["drifter"]},
+		},
+	}
+}
+
+// mustNow returns the object's current time; experiment setup guarantees
+// the object exists.
+func mustNow(st *store.Store, id string) int {
+	now, err := st.Now(id)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: now %s: %v", id, err))
+	}
+	return now
+}
+
+// queryStatsSum totals the query counters across the workload's objects.
+func queryStatsSum(st *store.Store) hpm.QueryStats {
+	var sum hpm.QueryStats
+	for _, id := range []string{"car", "drifter"} {
+		s, err := st.Stats(id)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: stats %s: %v", id, err))
+		}
+		sum = sum.Add(s.Queries)
+	}
+	return sum
+}
+
+// percentiles merges the per-worker latency samples and returns the p50
+// and p99 in microseconds.
+func percentiles(durs [][]time.Duration) (p50, p99 float64) {
+	var all []time.Duration
+	for _, d := range durs {
+		all = append(all, d...)
+	}
+	if len(all) == 0 {
+		return 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1000
+	}
+	return at(0.50), at(0.99)
+}

@@ -1,0 +1,137 @@
+package hpa
+
+import (
+	"sync"
+	"testing"
+
+	"hpm/internal/geom"
+	"hpm/internal/motion"
+	"hpm/internal/trajectory"
+)
+
+// TestPredictConcurrentStatsExact hammers Predict from many goroutines and
+// checks the atomic counters add up exactly: every query must land in
+// precisely one outcome bucket, with no lost increments. Run under -race
+// this also proves the query path itself is write-free.
+func TestPredictConcurrentStatsExact(t *testing.T) {
+	eng, centers := janeEngine(t, Config{Period: 3, DistantThreshold: 2, Weight: WeightLinear,
+		NewMotion: func() motion.Function { return motion.NewLinear(nil) }})
+
+	near := []trajectory.TimedPoint{
+		{T: 0, Loc: centers["home"]},
+		{T: 1, Loc: centers["city"]},
+	}
+	far := []trajectory.TimedPoint{
+		{T: 0, Loc: geom.Pt(9000, 9000)},
+		{T: 1, Loc: geom.Pt(9010, 9000)},
+	}
+
+	const goroutines = 16
+	const perG = 200 // per goroutine: FQP, BQP and fallback queries
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := eng.Predict(Query{Recent: near, Tq: 2}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.Predict(Query{Recent: near, Tq: 5}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := eng.Predict(Query{Recent: far, Tq: 2}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := eng.Stats()
+	want := goroutines * perG
+	if s.Forward != want || s.Backward != want || s.Fallback != want || s.Unanswered != 0 {
+		t.Errorf("stats = %+v, want %d forward, %d backward, %d fallback", s, want, want, want)
+	}
+	if s.Queries != 3*want {
+		t.Errorf("Queries = %d, want %d", s.Queries, 3*want)
+	}
+	if s.Queries != s.Forward+s.Backward+s.Fallback+s.Unanswered {
+		t.Errorf("partition identity violated: %+v", s)
+	}
+	if s.NodesVisited == 0 {
+		t.Error("no nodes counted")
+	}
+}
+
+// TestConcurrentMixedQueryKinds runs Predict, PredictBatch, PredictRange,
+// ForwardQuery, BackwardQuery, EncodeRecent and Stats concurrently — the
+// full read surface the engine documents as safe — and checks the answers
+// stay identical to a quiet single-threaded run.
+func TestConcurrentMixedQueryKinds(t *testing.T) {
+	eng, centers := janeEngine(t, Config{Period: 3, DistantThreshold: 2, Weight: WeightLinear,
+		NewMotion: func() motion.Function { return motion.NewLinear(nil) }})
+	recent := []trajectory.TimedPoint{
+		{T: 0, Loc: centers["home"]},
+		{T: 1, Loc: centers["city"]},
+	}
+	wantNear, err := eng.Predict(Query{Recent: recent, Tq: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFar, err := eng.Predict(Query{Recent: recent, Tq: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ResetStats()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch g % 4 {
+				case 0:
+					got, err := eng.Predict(Query{Recent: recent, Tq: 2, K: 2})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(got) != len(wantNear) || got[0] != wantNear[0] {
+						t.Errorf("concurrent Predict diverged: %+v vs %+v", got, wantNear)
+						return
+					}
+				case 1:
+					batch, err := eng.PredictBatch(recent, []int{2, 5}, 2)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(batch) != 2 || len(batch[0]) != len(wantNear) || batch[0][0] != wantNear[0] {
+						t.Errorf("concurrent PredictBatch diverged: %+v", batch)
+						return
+					}
+					if len(batch[1]) == 0 || batch[1][0] != wantFar[0] {
+						t.Errorf("concurrent PredictBatch BQP diverged: %+v", batch[1])
+						return
+					}
+				case 2:
+					if _, err := eng.PredictRange(recent, 2, 5); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					visited := eng.EncodeRecent(recent)
+					eng.ForwardQuery(visited, 2, 1)
+					eng.BackwardQuery(visited, 1, 5, 1)
+					_ = eng.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

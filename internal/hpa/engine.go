@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hpm/internal/bitkey"
 	"hpm/internal/geom"
@@ -97,8 +99,41 @@ type QueryStats struct {
 	NodesVisited int // TPT nodes touched across all searches
 }
 
+// Add returns the field-wise sum of two counter snapshots — used by callers
+// that accumulate stats across engine generations (e.g. model retrains).
+func (s QueryStats) Add(t QueryStats) QueryStats {
+	s.Queries += t.Queries
+	s.Forward += t.Forward
+	s.Backward += t.Backward
+	s.Fallback += t.Fallback
+	s.Unanswered += t.Unanswered
+	s.NodesVisited += t.NodesVisited
+	return s
+}
+
+// queryCounters are the engine's live counters, kept as atomics so Predict,
+// ForwardQuery and BackwardQuery are safe for unlimited concurrent callers
+// without a lock. Queries is not stored: the four outcome counters
+// partition answered Predict calls, so Stats derives it as their sum and
+// the identity Queries == Forward+Backward+Fallback+Unanswered holds in
+// every snapshot.
+type queryCounters struct {
+	forward      atomic.Int64
+	backward     atomic.Int64
+	fallback     atomic.Int64
+	unanswered   atomic.Int64
+	nodesVisited atomic.Int64
+}
+
 // Engine answers predictive queries over a mined pattern set indexed in a
 // Trajectory Pattern Tree.
+//
+// Concurrency: Predict, PredictBatch, PredictRange, ForwardQuery,
+// BackwardQuery, EncodeRecent and Stats are safe for any number of
+// concurrent callers — queries only read the index and bump atomic
+// counters. AddPatterns and ResetStats mutate the engine and must not run
+// concurrently with queries; callers serialize them externally (the store
+// does so under each object's write lock).
 type Engine struct {
 	enc      *pattern.Encoder
 	tree     *tpt.Tree
@@ -108,8 +143,18 @@ type Engine struct {
 	// consequence offset per pattern, precomputed for BQP scoring.
 	consOffsets []int
 
-	stats QueryStats
+	stats queryCounters
 }
+
+// queryScratch holds the per-query working buffers — the encoded premise
+// and the candidate accumulator — recycled through a pool so the steady-
+// state query path stays allocation-lean under concurrent load.
+type queryScratch struct {
+	visited []pattern.RegionID
+	cands   []Prediction
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 // NewEngine indexes the patterns and returns a ready engine. The patterns
 // slice is retained; PatternRef values in predictions index into it.
@@ -160,17 +205,46 @@ func (e *Engine) AddPatterns(ps []pattern.Pattern) (added, skipped int) {
 	return added, skipped
 }
 
-// Patterns returns the indexed pattern slice. Callers must not mutate it.
-func (e *Engine) Patterns() []pattern.Pattern { return e.patterns }
+// Patterns returns a copy of the indexed pattern slice: AddPatterns keeps
+// appending to the engine's own slice, so handing out the internal backing
+// array would let callers corrupt the index (or observe it mid-append).
+func (e *Engine) Patterns() []pattern.Pattern {
+	out := make([]pattern.Pattern, len(e.patterns))
+	copy(out, e.patterns)
+	return out
+}
 
 // Config returns the engine configuration after defaulting.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns the accumulated query counters.
-func (e *Engine) Stats() QueryStats { return e.stats }
+// Stats returns a snapshot of the query counters. Safe to call while
+// queries run; Queries is derived from the outcome counters, so the
+// partition identity Queries == Forward+Backward+Fallback+Unanswered holds
+// in every snapshot even mid-traffic.
+func (e *Engine) Stats() QueryStats {
+	f := e.stats.forward.Load()
+	b := e.stats.backward.Load()
+	fb := e.stats.fallback.Load()
+	u := e.stats.unanswered.Load()
+	return QueryStats{
+		Queries:      int(f + b + fb + u),
+		Forward:      int(f),
+		Backward:     int(b),
+		Fallback:     int(fb),
+		Unanswered:   int(u),
+		NodesVisited: int(e.stats.nodesVisited.Load()),
+	}
+}
 
-// ResetStats zeroes the query counters.
-func (e *Engine) ResetStats() { e.stats = QueryStats{} }
+// ResetStats zeroes the query counters. Not atomic with respect to
+// in-flight queries; quiesce callers first if an exact zero matters.
+func (e *Engine) ResetStats() {
+	e.stats.forward.Store(0)
+	e.stats.backward.Store(0)
+	e.stats.fallback.Store(0)
+	e.stats.unanswered.Store(0)
+	e.stats.nodesVisited.Store(0)
+}
 
 // IsDistant reports whether a query from current time tc to query time tq
 // is a distant-time query (Definition 2).
@@ -182,15 +256,29 @@ func (e *Engine) IsDistant(tc, tq int) bool {
 // deduplicated, in visit order. Locations matching no region are skipped —
 // the paper only encodes regions the object demonstrably passed through.
 func (e *Engine) EncodeRecent(recent []trajectory.TimedPoint) []pattern.RegionID {
+	return e.encodeRecentInto(nil, recent)
+}
+
+// encodeRecentInto is EncodeRecent appending into a reusable buffer. The
+// dedup is a linear scan over the ids collected so far: recent windows hold
+// a handful of distinct regions, where scanning beats a per-query map
+// allocation.
+func (e *Engine) encodeRecentInto(ids []pattern.RegionID, recent []trajectory.TimedPoint) []pattern.RegionID {
 	rt := e.enc.RegionTable()
-	var ids []pattern.RegionID
-	seen := map[pattern.RegionID]bool{}
+	ids = ids[:0]
+next:
 	for _, tp := range recent {
 		off := mod(tp.T, e.cfg.Period)
-		if fr, ok := rt.Locate(off, tp.Loc); ok && !seen[fr.ID] {
-			seen[fr.ID] = true
-			ids = append(ids, fr.ID)
+		fr, ok := rt.Locate(off, tp.Loc)
+		if !ok {
+			continue
 		}
+		for _, seen := range ids {
+			if seen == fr.ID {
+				continue next
+			}
+		}
+		ids = append(ids, fr.ID)
 	}
 	return ids
 }
@@ -210,32 +298,117 @@ func (e *Engine) Predict(q Query) ([]Prediction, error) {
 	if k <= 0 {
 		k = 1
 	}
-	visited := e.EncodeRecent(q.Recent)
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	sc.visited = e.encodeRecentInto(sc.visited, q.Recent)
 
-	e.stats.Queries++
 	var preds []Prediction
 	distant := e.IsDistant(tc, q.Tq)
 	if distant {
-		preds = e.BackwardQuery(visited, tc, q.Tq, k)
+		preds = e.backwardQuery(sc, sc.visited, tc, q.Tq, k)
 	} else {
-		preds = e.ForwardQuery(visited, q.Tq, k)
+		preds = e.forwardQuery(sc, sc.visited, q.Tq, k)
 	}
 	if len(preds) > 0 {
 		if distant {
-			e.stats.Backward++
+			e.stats.backward.Add(1)
 		} else {
-			e.stats.Forward++
+			e.stats.forward.Add(1)
 		}
 		return preds, nil
 	}
 	fb, err := e.motionFallback(q)
 	switch {
 	case err != nil || len(fb) == 0:
-		e.stats.Unanswered++
+		e.stats.unanswered.Add(1)
 	default:
-		e.stats.Fallback++
+		e.stats.fallback.Add(1)
 	}
 	return fb, err
+}
+
+// PredictBatch answers one query per entry of tqs from the same recent
+// window, returning the per-time prediction lists in input order. The
+// premise is encoded once and the motion fallback, when any time needs it,
+// is fitted once and reused — extending PredictRange's fit-once trick to
+// arbitrary time sets, so a batch of m queries costs one encoding and at
+// most one model construction instead of m of each.
+//
+// Each time dispatches to FQP or BQP by its own distance from the current
+// time and counts in the query stats individually. Times the fallback
+// cannot answer yield a nil entry rather than failing the batch. Every tq
+// must lie after the recent window's end.
+func (e *Engine) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) ([][]Prediction, error) {
+	if len(recent) == 0 {
+		return nil, errors.New("hpa: query has no recent movements")
+	}
+	tc := recent[len(recent)-1].T
+	for _, tq := range tqs {
+		if tq <= tc {
+			return nil, fmt.Errorf("hpa: query time %d not after current time %d", tq, tc)
+		}
+	}
+	if len(tqs) == 0 {
+		return nil, nil
+	}
+	if k <= 0 {
+		k = 1
+	}
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	sc.visited = e.encodeRecentInto(sc.visited, recent)
+
+	var fn motion.Function
+	var fnErr error
+	fitted := false
+	out := make([][]Prediction, len(tqs))
+	for i, tq := range tqs {
+		distant := e.IsDistant(tc, tq)
+		var preds []Prediction
+		if distant {
+			preds = e.backwardQuery(sc, sc.visited, tc, tq, k)
+		} else {
+			preds = e.forwardQuery(sc, sc.visited, tq, k)
+		}
+		if len(preds) > 0 {
+			if distant {
+				e.stats.backward.Add(1)
+			} else {
+				e.stats.forward.Add(1)
+			}
+			out[i] = preds
+			continue
+		}
+		if e.cfg.NewMotion == nil {
+			e.stats.unanswered.Add(1)
+			continue
+		}
+		if !fitted {
+			fitted = true
+			fn = e.cfg.NewMotion()
+			fnErr = fn.Fit(recent)
+		}
+		if fnErr != nil {
+			// Degenerate recent window: answer with the last known
+			// location, as Predict's fallback does.
+			out[i] = []Prediction{{
+				Location:          recent[len(recent)-1].Loc,
+				PatternRef:        -1,
+				Source:            SourceMotion,
+				ConsequenceOffset: -1,
+			}}
+			e.stats.fallback.Add(1)
+			continue
+		}
+		loc, err := fn.Predict(tq)
+		if err != nil {
+			e.stats.unanswered.Add(1)
+			continue
+		}
+		out[i] = []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion, ConsequenceOffset: -1}}
+		e.stats.fallback.Add(1)
+	}
+	return out, nil
 }
 
 // PredictRange answers a predictive trajectory query: the object's most
@@ -252,7 +425,10 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 	if from <= tc || to < from {
 		return nil, fmt.Errorf("hpa: range [%d,%d] invalid for current time %d", from, to, tc)
 	}
-	visited := e.EncodeRecent(recent)
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	sc.visited = e.encodeRecentInto(sc.visited, recent)
+	visited := sc.visited
 
 	var fn motion.Function
 	var fnErr error
@@ -281,9 +457,9 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 	for tq := from; tq <= to; tq++ {
 		var preds []Prediction
 		if e.IsDistant(tc, tq) {
-			preds = e.BackwardQuery(visited, tc, tq, 1)
+			preds = e.backwardQuery(sc, visited, tc, tq, 1)
 		} else {
-			preds = e.ForwardQuery(visited, tq, 1)
+			preds = e.forwardQuery(sc, visited, tq, 1)
 		}
 		if len(preds) > 0 {
 			out = append(out, preds[0])
@@ -298,6 +474,14 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 // the top-k pattern predictions for a non-distant query, or nil when no
 // pattern qualifies.
 func (e *Engine) ForwardQuery(visited []pattern.RegionID, tq, k int) []Prediction {
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	return e.forwardQuery(sc, visited, tq, k)
+}
+
+// forwardQuery is ForwardQuery accumulating candidates into sc.cands; the
+// returned top-k slice is freshly allocated, never scratch-backed.
+func (e *Engine) forwardQuery(sc *queryScratch, visited []pattern.RegionID, tq, k int) []Prediction {
 	if len(visited) == 0 {
 		return nil
 	}
@@ -306,8 +490,8 @@ func (e *Engine) ForwardQuery(visited []pattern.RegionID, tq, k int) []Predictio
 	if qk.CK.IsZero() || qk.RK.IsZero() {
 		return nil
 	}
-	var cands []Prediction
-	e.stats.NodesVisited += e.tree.SearchIntersect(qk, func(it tpt.Item) bool {
+	cands := sc.cands[:0]
+	e.stats.nodesVisited.Add(int64(e.tree.SearchIntersect(qk, func(it tpt.Item) bool {
 		sr := PremiseSimilarity(it.Key.RK, qk.RK, e.cfg.Weight)
 		fr := e.consequenceRegion(it.Ref)
 		cands = append(cands, Prediction{
@@ -320,7 +504,8 @@ func (e *Engine) ForwardQuery(visited []pattern.RegionID, tq, k int) []Predictio
 			ConsequenceOffset: fr.Offset,
 		})
 		return true
-	})
+	})))
+	sc.cands = cands
 	return topK(cands, k)
 }
 
@@ -330,6 +515,14 @@ func (e *Engine) ForwardQuery(visited []pattern.RegionID, tq, k int) []Predictio
 // current time, then ranks by Equation 5 (or Equation 4 when the premise
 // penalty is disabled).
 func (e *Engine) BackwardQuery(visited []pattern.RegionID, tc, tq, k int) []Prediction {
+	sc := scratchPool.Get().(*queryScratch)
+	defer scratchPool.Put(sc)
+	return e.backwardQuery(sc, visited, tc, tq, k)
+}
+
+// backwardQuery is BackwardQuery accumulating candidates into sc.cands; the
+// returned top-k slice is freshly allocated, never scratch-backed.
+func (e *Engine) backwardQuery(scr *queryScratch, visited []pattern.RegionID, tc, tq, k int) []Prediction {
 	qrk := e.enc.RegionTable().PremiseKey(visited)
 	ct := e.enc.ConsequenceTable()
 	tqOff := mod(tq, e.cfg.Period)
@@ -337,10 +530,10 @@ func (e *Engine) BackwardQuery(visited []pattern.RegionID, tc, tq, k int) []Pred
 	for i := 1; ; i++ {
 		radius := i * e.cfg.TimeRelaxation
 		ck := consequenceWindowKey(ct, tqOff, radius, e.cfg.Period)
-		var cands []Prediction
+		cands := scr.cands[:0]
 		if !ck.IsZero() {
 			qk := bitkey.PatternKey{CK: ck, RK: qrk}
-			e.stats.NodesVisited += e.tree.SearchConsequence(qk, func(it tpt.Item) bool {
+			e.stats.nodesVisited.Add(int64(e.tree.SearchConsequence(qk, func(it tpt.Item) bool {
 				t := e.consOffsets[it.Ref]
 				dist := circularDist(tqOff, t, e.cfg.Period)
 				if dist > radius {
@@ -365,7 +558,8 @@ func (e *Engine) BackwardQuery(visited []pattern.RegionID, tc, tq, k int) []Pred
 					ConsequenceOffset: fr.Offset,
 				})
 				return true
-			})
+			})))
+			scr.cands = cands
 		}
 		if len(cands) > 0 {
 			return topK(cands, k)
@@ -404,23 +598,72 @@ func (e *Engine) motionFallback(q Query) ([]Prediction, error) {
 	return []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion, ConsequenceOffset: -1}}, nil
 }
 
-// topK sorts candidates by score (ties: higher confidence, then lower
-// pattern index for determinism) and truncates to k.
-func topK(cands []Prediction, k int) []Prediction {
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.Score != b.Score {
-			return a.Score > b.Score
-		}
-		if a.Confidence != b.Confidence {
-			return a.Confidence > b.Confidence
-		}
-		return a.PatternRef < b.PatternRef
-	})
-	if len(cands) > k {
-		cands = cands[:k]
+// better reports whether a ranks strictly ahead of b: higher score, ties
+// broken by higher confidence, then lower pattern index for determinism.
+// Candidates within one search carry distinct PatternRefs, so this is a
+// strict total order and the top-k set is deterministic.
+func better(a, b *Prediction) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	return cands
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
+	}
+	return a.PatternRef < b.PatternRef
+}
+
+// topK returns the k best candidates in rank order, freshly allocated so
+// callers never alias the pooled scratch. For k ≪ len(cands) it runs a
+// bounded selection heap — O(n log k) with the heap living in the scratch's
+// own prefix — instead of sorting every candidate.
+func topK(cands []Prediction, k int) []Prediction {
+	if len(cands) == 0 || k <= 0 {
+		return nil
+	}
+	if k >= len(cands) {
+		out := make([]Prediction, len(cands))
+		copy(out, cands)
+		sort.Slice(out, func(i, j int) bool { return better(&out[i], &out[j]) })
+		return out
+	}
+	// cands[:k] becomes a worst-at-root heap; survivors displace the root.
+	h := cands[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftWorst(h, i)
+	}
+	for i := k; i < len(cands); i++ {
+		if better(&cands[i], &h[0]) {
+			h[0] = cands[i]
+			siftWorst(h, 0)
+		}
+	}
+	// Pop worst-first into the tail of the output to leave rank order.
+	out := make([]Prediction, k)
+	for n := k; n > 0; n-- {
+		out[n-1] = h[0]
+		h[0] = h[n-1]
+		h = h[:n-1]
+		siftWorst(h, 0)
+	}
+	return out
+}
+
+// siftWorst restores the worst-at-root heap property below index i.
+func siftWorst(h []Prediction, i int) {
+	for {
+		l, r, w := 2*i+1, 2*i+2, i
+		if l < len(h) && better(&h[w], &h[l]) {
+			w = l
+		}
+		if r < len(h) && better(&h[w], &h[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h[i], h[w] = h[w], h[i]
+		i = w
+	}
 }
 
 // consequenceWindowKey builds the consequence key for the offsets within

@@ -13,6 +13,7 @@ package hpa
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hpm/internal/bitkey"
 )
@@ -72,12 +73,40 @@ func (w WeightFunc) raw(i int) float64 {
 	}
 }
 
+// weightMemoMax bounds the premise lengths whose weight vectors are
+// memoized. Premises are capped far below this in practice (the Apriori
+// stage limits pattern length); longer requests fall through to a fresh
+// computation.
+const weightMemoMax = 64
+
+// weightMemo caches Weights(size) per (function, size). Entries are
+// published once with a CAS and then shared read-only by every query, so
+// premise scoring never allocates in steady state. Concurrent first calls
+// may both compute; whichever CAS wins is the vector all callers see —
+// the computation is deterministic, so the loser's copy is identical.
+var weightMemo [4][weightMemoMax + 1]atomic.Pointer[[]float64]
+
 // Weights returns the normalized weights ω_1..ω_size, which sum to 1 so the
-// premise similarity of an exact premise match is exactly 1.
+// premise similarity of an exact premise match is exactly 1. The returned
+// slice is memoized and shared across callers — treat it as read-only.
 func (w WeightFunc) Weights(size int) []float64 {
 	if size <= 0 {
 		return nil
 	}
+	if int(w) < 0 || int(w) >= len(weightMemo) || size > weightMemoMax {
+		return w.computeWeights(size)
+	}
+	slot := &weightMemo[w][size]
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	ws := w.computeWeights(size)
+	slot.CompareAndSwap(nil, &ws)
+	return *slot.Load()
+}
+
+// computeWeights builds the normalized weight vector afresh.
+func (w WeightFunc) computeWeights(size int) []float64 {
 	out := make([]float64, size)
 	var sum float64
 	for i := 1; i <= size; i++ {

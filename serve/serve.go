@@ -4,13 +4,16 @@
 //	POST /objects/{id}/observe       {"points": [[x, y], ...]}
 //	POST /flush                      drain background trains
 //	GET  /objects                    -> {"objects": ["bus-7", ...]}
-//	GET  /objects/{id}/stats         -> object summary
+//	GET  /objects/{id}/stats         -> object summary + query-path counters
 //	GET  /objects/{id}/predict?tq=N&k=K        (or horizon=H instead of tq)
+//	POST /objects/{id}/predict       {"tqs": [N, ...], "k": K}  (batch; or "horizons")
 //	GET  /objects/{id}/trajectory?from=N&to=M  (predicted path, inclusive)
 //
 // Predictions return the location, the provenance (pattern vs motion), the
 // ranking score, the pattern confidence, and the consequence region's
-// bounding box when a pattern answered.
+// bounding box when a pattern answered. The batch form answers many query
+// times in one request against a single snapshot of the object, amortizing
+// premise encoding and motion-function fitting across the times.
 package serve
 
 import (
@@ -55,6 +58,9 @@ func Handler(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("GET /objects/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
 		handlePredict(st, w, r)
+	})
+	mux.HandleFunc("POST /objects/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
+		handlePredictBatch(st, w, r)
 	})
 	mux.HandleFunc("GET /objects/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
 		handleTrajectory(st, w, r)
@@ -158,6 +164,77 @@ func handlePredict(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		out[i] = toJSON(p)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tq": tq, "predictions": out})
+}
+
+// maxPredictBatch bounds one batch-predict request, mirroring the
+// trajectory endpoint's range cap.
+const maxPredictBatch = 10000
+
+// predictBatchRequest is the batch body: absolute query times, or horizons
+// relative to the object's current time (exactly one must be non-empty).
+type predictBatchRequest struct {
+	Tqs      []int `json:"tqs"`
+	Horizons []int `json:"horizons"`
+	K        int   `json:"k"`
+}
+
+// batchResultJSON pairs one query time with its ranked predictions.
+type batchResultJSON struct {
+	Tq          int              `json:"tq"`
+	Predictions []predictionJSON `json:"predictions"`
+}
+
+func handlePredictBatch(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req predictBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad body: "+err.Error()))
+		return
+	}
+	if (len(req.Tqs) == 0) == (len(req.Horizons) == 0) {
+		writeJSON(w, http.StatusBadRequest, errBody("need exactly one of tqs or horizons"))
+		return
+	}
+	tqs := req.Tqs
+	if len(req.Horizons) > 0 {
+		now, err := st.Now(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		tqs = make([]int, len(req.Horizons))
+		for i, h := range req.Horizons {
+			if h <= 0 {
+				writeJSON(w, http.StatusBadRequest, errBody("horizons must be positive"))
+				return
+			}
+			tqs[i] = now + h
+		}
+	}
+	if len(tqs) > maxPredictBatch {
+		writeJSON(w, http.StatusBadRequest, errBody("batch too large"))
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	batches, err := st.PredictBatch(id, tqs, k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	results := make([]batchResultJSON, len(batches))
+	for i, preds := range batches {
+		out := make([]predictionJSON, len(preds))
+		for j, p := range preds {
+			out[j] = toJSON(p)
+		}
+		results[i] = batchResultJSON{Tq: tqs[i], Predictions: out}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func handleTrajectory(st *store.Store, w http.ResponseWriter, r *http.Request) {

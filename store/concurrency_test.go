@@ -1,0 +1,191 @@
+package store
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hpm"
+)
+
+// TestPredictObserveHammer drives heavy mixed traffic — concurrent point
+// predictions, batch predictions, range queries, stats reads and a
+// continuous observation stream with retrains enabled — against one
+// object. Run under -race it pins the lock-free read path: queries share
+// the object's read lock and the engine's counters are atomic, so nothing
+// here may race. Counter totals are checked afterwards.
+func TestPredictObserveHammer(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3, RetrainEvery: 2})
+	feed(t, s, "bike", 9, 4)
+
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 9)
+	spec.Period = period
+	spec.SubTrajectories = 8
+	more := hpm.GenerateDataset(spec).Slice(4*period, 8*period)
+
+	const readers = 8
+	const perReader = 50
+	var predicted atomic.Int64 // queries that reached a trained predictor
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*4+4)
+
+	// Writer: stream four more periods in small batches, so background
+	// retrains fire and predictor swaps land mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(more); i += 15 {
+			end := i + 15
+			if end > len(more) {
+				end = len(more)
+			}
+			if err := s.ObserveBatch("bike", more[i:end]); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				// The writer may advance the track between Now and the
+				// query, invalidating the query time; such calls fail
+				// validation before touching any counter, so retrying
+				// with a fresh now keeps the totals below exact.
+				for {
+					now, err := s.Now("bike")
+					if err != nil {
+						errs <- err
+						return
+					}
+					switch r % 4 {
+					case 0: // near: FQP path
+						_, err = s.Predict("bike", now+20, 1)
+					case 1: // distant: BQP path
+						_, err = s.Predict("bike", now+80, 1)
+					case 2: // batch across both paths
+						_, err = s.PredictBatch("bike", []int{now + 20, now + 80}, 2)
+					default: // range + stats read
+						_, err = s.PredictRange("bike", now+20, now+24)
+						if _, serr := s.Stats("bike"); serr != nil {
+							errs <- serr
+							return
+						}
+					}
+					if err != nil && (strings.Contains(err.Error(), "not after current time") ||
+						strings.Contains(err.Error(), "invalid for current time")) {
+						continue
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+					break
+				}
+				predicted.Add(1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+	if predicted.Load() != readers*perReader {
+		t.Fatalf("only %d of %d reader iterations completed", predicted.Load(), readers*perReader)
+	}
+
+	// Every Predict/PredictBatch query must appear in the per-object
+	// counters, which survive the retrains the writer triggered. Readers
+	// 0,1 issue 1 query per iteration, reader 2 issues 2 (a 2-time batch),
+	// reader 3 issues none (PredictRange is uncounted).
+	st, err := s.Stats("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := perReader * (readers / 4)
+	want := perGroup*2 + perGroup*2 // readers 0+1, plus reader group 2's batches
+	if st.Queries.Queries != want {
+		t.Errorf("accumulated queries = %d, want %d (stats: %+v)", st.Queries.Queries, want, st.Queries)
+	}
+	sum := st.Queries.Forward + st.Queries.Backward + st.Queries.Fallback + st.Queries.Unanswered
+	if st.Queries.Queries != sum {
+		t.Errorf("partition identity violated: %+v", st.Queries)
+	}
+}
+
+// TestStatsSurviveRetrain pins the counter-banking: queries answered by a
+// predictor that is later retired by a retrain must still appear in the
+// object's stats afterwards.
+func TestStatsSurviveRetrain(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3, RetrainEvery: 1, SynchronousTraining: true})
+	feed(t, s, "bike", 11, 3)
+	now, _ := s.Now("bike")
+	const before = 4
+	for i := 0; i < before; i++ {
+		if _, err := s.Predict("bike", now+5+i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One more period forces a synchronous retrain, swapping the predictor.
+	spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, 11)
+	spec.Period = period
+	spec.SubTrajectories = 4
+	more := hpm.GenerateDataset(spec).Slice(3*period, 4*period)
+	if err := s.ObserveBatch("bike", more); err != nil {
+		t.Fatal(err)
+	}
+
+	now, _ = s.Now("bike")
+	if _, err := s.Predict("bike", now+5, 1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Queries != before+1 {
+		t.Errorf("queries after retrain = %d, want %d (stats: %+v)", st.Queries.Queries, before+1, st.Queries)
+	}
+}
+
+// TestStorePredictBatchMatchesPredict checks the store-level batch API
+// returns exactly what per-time Predicts would, on a quiet store.
+func TestStorePredictBatchMatchesPredict(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	feed(t, s, "bike", 13, 4)
+	now, _ := s.Now("bike")
+	tqs := []int{now + 3, now + 10, now + 80}
+	batch, err := s.PredictBatch("bike", tqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(tqs) {
+		t.Fatalf("batch has %d entries, want %d", len(batch), len(tqs))
+	}
+	for i, tq := range tqs {
+		want, err := s.Predict("bike", tq, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("tq=%d: %d vs %d predictions", tq, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Errorf("tq=%d pred %d: %+v != %+v", tq, j, batch[i][j], want[j])
+			}
+		}
+	}
+	if _, err := s.PredictBatch("ghost", tqs, 1); err == nil {
+		t.Error("unknown object accepted")
+	}
+}

@@ -114,8 +114,12 @@ type Store struct {
 	beforeTrain func()
 }
 
+// object is one tracked object's state. mu is a read-write lock: queries
+// (Predict, PredictRange, PredictBatch, Now, Stats) share a read lock —
+// the predictor's query path is lock-free internally, so any number run in
+// parallel — while Observe, model swaps and Extends take the write lock.
 type object struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	track     []hpm.Point
 	predictor *hpm.Predictor
 	// modeled is how many leading periods of track the predictor has seen
@@ -126,6 +130,10 @@ type object struct {
 	// training marks an in-flight background (re)train; further model
 	// updates are deferred until the trained predictor is swapped in.
 	training bool
+	// queries accumulates the query counters of predictors retired by full
+	// retrains, so per-object query-path stats survive model swaps. The
+	// live predictor's counters are added on read.
+	queries hpm.QueryStats
 }
 
 // New returns an empty store. Config.Period must be positive.
@@ -242,10 +250,20 @@ func (s *Store) train(obj *object, completed int) error {
 	if err != nil {
 		return fmt.Errorf("store: train: %w", err)
 	}
-	obj.predictor = p
-	obj.modeled = completed
-	obj.sinceRetrain = 0
+	obj.swapPredictor(p, completed)
 	return nil
+}
+
+// swapPredictor installs a freshly trained predictor, banking the retired
+// predictor's query counters so per-object stats survive the swap. Called
+// with obj.mu held for writing.
+func (o *object) swapPredictor(p *hpm.Predictor, completed int) {
+	if o.predictor != nil {
+		o.queries = o.queries.Add(o.predictor.QueryStats())
+	}
+	o.predictor = p
+	o.modeled = completed
+	o.sinceRetrain = 0
 }
 
 // scheduleTrain snapshots the completed-period prefix and hands it to a
@@ -283,9 +301,7 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 	if err != nil {
 		err = fmt.Errorf("store: train: %w", err)
 	} else {
-		obj.predictor = p
-		obj.modeled = completed
-		obj.sinceRetrain = 0
+		obj.swapPredictor(p, completed)
 		// Catch up: extend (or re-schedule a retrain) over periods that
 		// completed while this train was running.
 		if uerr := s.maybeUpdate(obj); uerr != nil {
@@ -331,14 +347,16 @@ func (s *Store) Close() error {
 }
 
 // Predict estimates the object's location at absolute time tq (timestamps
-// count observations from zero) from its most recent movements.
+// count observations from zero) from its most recent movements. Queries
+// run under the object's read lock: any number execute in parallel with
+// each other, serializing only against writes (Observe, model swaps).
 func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
 	obj, err := s.get(id, false)
 	if err != nil {
 		return nil, err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	recent, err := s.recentLocked(obj)
 	if err != nil {
 		return nil, err
@@ -352,13 +370,33 @@ func (s *Store) PredictRange(id string, from, to int) ([]hpm.Prediction, error) 
 	if err != nil {
 		return nil, err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	recent, err := s.recentLocked(obj)
 	if err != nil {
 		return nil, err
 	}
 	return obj.predictor.PredictRange(recent, from, to)
+}
+
+// PredictBatch estimates the object's location at each absolute time in
+// tqs, returning up to k ranked predictions per time in input order. The
+// whole batch runs against one consistent snapshot of the object's recent
+// movements and shares a single premise encoding and at most one motion-
+// function fit, so it is substantially cheaper than len(tqs) Predict
+// calls. Times nothing can answer yield a nil entry.
+func (s *Store) PredictBatch(id string, tqs []int, k int) ([][]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	return obj.predictor.PredictBatch(recent, tqs, k)
 }
 
 // recentLocked builds the query window from the tail of the track.
@@ -385,8 +423,8 @@ func (s *Store) Now(id string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	return len(obj.track) - 1, nil
 }
 
@@ -411,21 +449,22 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 	if err != nil {
 		return ObjectStats{}, err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	st := ObjectStats{
 		ID:       id,
 		Points:   len(obj.track),
 		Periods:  len(obj.track) / s.opts.Config.Period,
 		Training: obj.training,
 		Modeled:  obj.modeled,
+		Queries:  obj.queries,
 	}
 	if obj.predictor != nil {
 		st.Trained = true
 		st.Regions = obj.predictor.NumRegions()
 		st.Patterns = obj.predictor.NumPatterns()
 		st.IndexBytes = obj.predictor.IndexBytes()
-		st.Queries = obj.predictor.QueryStats()
+		st.Queries = st.Queries.Add(obj.predictor.QueryStats())
 	}
 	return st, nil
 }
@@ -457,7 +496,7 @@ func (s *Store) Predictor(id string) (*hpm.Predictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
 	return obj.predictor, nil
 }
