@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query
+.PHONY: build test race vet bench bench-query chaos
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent layers: the lock-free query engine, the fleet
-# store (background retrains), the HTTP service, and the parallel training
-# pipeline.
+# store (background retrains, WAL/checkpoint durability, chaos tests),
+# the HTTP service, the fault-injection helpers, and the parallel
+# training pipeline.
 race:
-	$(GO) test -race ./internal/hpa/... ./store/... ./serve/... ./internal/core/...
+	$(GO) test -race ./internal/hpa/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
+
+# Crash-safety suite under the race detector: kill/restart recovery, torn
+# WAL tails, injected WAL/snapshot/train faults, snapshot robustness.
+chaos:
+	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join' -count=1 ./store/... ./internal/faultinject/...
 
 vet:
 	$(GO) vet ./...

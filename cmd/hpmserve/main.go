@@ -1,17 +1,24 @@
 // Command hpmserve runs the moving-objects prediction service: a JSON HTTP
 // API over a fleet of per-object Hybrid Prediction Models.
 //
-//	hpmserve -addr :8080 -period 300 -snapshot fleet.hpms
+//	hpmserve -addr :8080 -period 300 -data-dir /var/lib/hpm
 //
 //	curl -XPOST localhost:8080/objects/bus-7/observe \
 //	     -d '{"points": [[120.5, 88.2], [121.0, 90.1]]}'
 //	curl 'localhost:8080/objects/bus-7/predict?horizon=30&k=3'
 //	curl 'localhost:8080/objects/bus-7/trajectory?from=900&to=950'
 //	curl  localhost:8080/objects
+//	curl  localhost:8080/readyz
 //
-// With -snapshot, the fleet is restored from the file at startup (when it
-// exists) and written back on SIGINT/SIGTERM, so a restart does not
-// re-mine every object.
+// With -data-dir, the store is durable: every acknowledged observation is
+// written to a write-ahead log before the HTTP response goes out, atomic
+// snapshots are taken every -snapshot-every (and on shutdown), and a
+// restart — graceful or a crash — replays snapshot + WAL tail, losing
+// nothing acknowledged.
+//
+// The legacy -snapshot flag keeps the old lighter mode: restore from a
+// single snapshot file at startup and save it on SIGINT/SIGTERM only (a
+// crash loses everything since the last graceful shutdown).
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"hpm"
 	"hpm/serve"
@@ -39,11 +47,14 @@ func main() {
 		minPts   = flag.Int("minpts", 0, "DBSCAN MinPts (0 = paper default 4)")
 		distant  = flag.Int("distant", 0, "distant-time threshold d (0 = paper default 60)")
 		workers  = flag.Int("parallelism", 0, "worker goroutines per model train (0 = NumCPU; any value trains identical models)")
-		snapshot = flag.String("snapshot", "", "fleet snapshot file: restored at start, saved on shutdown")
+		snapshot = flag.String("snapshot", "", "legacy fleet snapshot file: restored at start, saved on graceful shutdown only")
+		dataDir  = flag.String("data-dir", "", "durable store directory (WAL + snapshots); crash-safe, supersedes -snapshot")
+		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown only)")
+		walSync  = flag.Bool("wal-sync", true, "fsync the WAL on every observe; disable to trade crash durability for ingest throughput")
 	)
 	flag.Parse()
 
-	st, err := openStore(*snapshot, store.Options{
+	opts := store.Options{
 		Config: hpm.Config{
 			Period:           *period,
 			Eps:              *eps,
@@ -53,12 +64,25 @@ func main() {
 		},
 		MinTrainPeriods: *minDays,
 		RetrainEvery:    *retrain,
-	})
+		WALNoSync:       !*walSync,
+	}
+	st, err := openStore(*dataDir, *snapshot, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dataDir != "" && *snapEach > 0 {
+		go snapshotLoop(st, *snapEach)
+	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.Handler(st)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.Handler(st),
+		// A slow or hostile client must not pin a connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go shutdownOnSignal(srv, st, *snapshot)
 	fmt.Printf("hpmserve listening on %s (period %d, first train after %d periods)\n",
 		*addr, *period, *minDays)
@@ -67,19 +91,28 @@ func main() {
 	}
 }
 
-// openStore restores the fleet from the snapshot when one exists,
-// otherwise starts empty.
-func openStore(path string, opts store.Options) (*store.Store, error) {
-	if path != "" {
-		f, err := os.Open(path)
-		switch {
+// openStore picks the persistence mode: durable (WAL + snapshots) with
+// -data-dir, legacy single-file restore with -snapshot, in-memory
+// otherwise.
+func openStore(dataDir, snapshot string, opts store.Options) (*store.Store, error) {
+	if dataDir != "" {
+		st, err := store.Open(dataDir, opts)
+		if err != nil {
+			return nil, fmt.Errorf("open %s: %w", dataDir, err)
+		}
+		h := st.Health()
+		fmt.Printf("durable store %s: %d objects (snapshot restored: %v, wal records replayed: %d)\n",
+			dataDir, h.Objects, h.SnapshotRestored, h.WALReplayed)
+		return st, nil
+	}
+	if snapshot != "" {
+		switch _, err := os.Stat(snapshot); {
 		case err == nil:
-			defer f.Close()
-			st, err := store.Load(f)
+			st, err := store.LoadFile(snapshot)
 			if err != nil {
-				return nil, fmt.Errorf("restore %s: %w", path, err)
+				return nil, fmt.Errorf("restore: %w", err)
 			}
-			fmt.Printf("restored %d objects from %s\n", len(st.Objects()), path)
+			fmt.Printf("restored %d objects from %s\n", len(st.Objects()), snapshot)
 			return st, nil
 		case !os.IsNotExist(err):
 			return nil, err
@@ -88,41 +121,35 @@ func openStore(path string, opts store.Options) (*store.Store, error) {
 	return store.New(opts)
 }
 
+// snapshotLoop checkpoints the durable store on a fixed cadence so the
+// WAL stays short and restart replay stays fast. Checkpoint failures keep
+// every WAL segment, so they cost recovery time, not data.
+func snapshotLoop(st *store.Store, every time.Duration) {
+	for range time.Tick(every) {
+		if err := st.Checkpoint(); err != nil {
+			log.Printf("hpmserve: periodic snapshot: %v", err)
+		}
+	}
+}
+
 // shutdownOnSignal drains background trains when the process is
-// interrupted, writes the snapshot (when configured), then stops the
-// server.
-func shutdownOnSignal(srv *http.Server, st *store.Store, path string) {
+// interrupted, persists the fleet (final checkpoint for durable stores,
+// legacy snapshot file otherwise), then stops the server.
+func shutdownOnSignal(srv *http.Server, st *store.Store, snapshot string) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	// Drain in-flight trains so the snapshot captures the freshest models
-	// and no trainer goroutine outlives the save.
+	// Close drains in-flight trains so the snapshot captures the freshest
+	// models, then checkpoints durable stores.
 	if err := st.Close(); err != nil {
-		log.Printf("hpmserve: background training: %v", err)
+		log.Printf("hpmserve: shutdown: %v", err)
 	}
-	if path != "" {
-		saveSnapshot(st, path)
+	if snapshot != "" {
+		if err := st.SaveFile(snapshot); err != nil {
+			log.Printf("hpmserve: snapshot save failed: %v", err)
+		} else {
+			fmt.Printf("\nsnapshot saved to %s\n", snapshot)
+		}
 	}
 	srv.Close()
-}
-
-// saveSnapshot writes the fleet atomically via a temp file rename.
-func saveSnapshot(st *store.Store, path string) {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err == nil {
-		if err = st.Save(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err == nil {
-			err = os.Rename(tmp, path)
-		}
-	}
-	if err != nil {
-		log.Printf("hpmserve: snapshot save failed: %v", err)
-	} else {
-		fmt.Printf("\nsnapshot saved to %s\n", path)
-	}
 }

@@ -1,0 +1,77 @@
+// Package faultinject lets tests deterministically inject failures into
+// the store's durability and training paths. A Hook is consulted at each
+// named fault point; returning an error makes that operation fail, and a
+// hook may panic to exercise crash-recovery paths. Production code runs
+// with a nil hook, which costs one atomic load per fault point.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Op names one fault point.
+type Op string
+
+// Fault points consulted by the store.
+const (
+	// OpTrain fires on the trainer goroutine right before a model train.
+	OpTrain Op = "train"
+	// OpWALAppend fires before a write-ahead-log record is written; an
+	// error here means the observation is not acknowledged.
+	OpWALAppend Op = "wal-append"
+	// OpSnapshot fires at the start of a checkpoint; an error aborts the
+	// snapshot and keeps every WAL segment intact.
+	OpSnapshot Op = "snapshot"
+)
+
+// Hook decides the fate of one operation: nil lets it proceed, an error
+// fails it, and a panic crashes it (the store's trainers recover).
+type Hook func(Op) error
+
+// ErrInjected is the default error returned by injected failures.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// FailN returns a hook that fails the first n invocations of op with err
+// (ErrInjected when err is nil) and then lets everything through. Safe for
+// concurrent use.
+func FailN(op Op, n int64, err error) Hook {
+	if err == nil {
+		err = ErrInjected
+	}
+	var count atomic.Int64
+	return func(got Op) error {
+		if got == op && count.Add(1) <= n {
+			return err
+		}
+		return nil
+	}
+}
+
+// PanicN returns a hook that panics on the first n invocations of op,
+// simulating a crashing worker. Safe for concurrent use.
+func PanicN(op Op, n int64) Hook {
+	var count atomic.Int64
+	return func(got Op) error {
+		if got == op && count.Add(1) <= n {
+			panic(fmt.Sprintf("faultinject: injected panic on %s", op))
+		}
+		return nil
+	}
+}
+
+// Join runs hooks in order, returning the first error.
+func Join(hooks ...Hook) Hook {
+	return func(op Op) error {
+		for _, h := range hooks {
+			if h == nil {
+				continue
+			}
+			if err := h(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,57 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailN(t *testing.T) {
+	h := FailN(OpTrain, 2, nil)
+	for i := 0; i < 2; i++ {
+		if err := h(OpTrain); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := h(OpTrain); err != nil {
+		t.Fatalf("call 3: err = %v, want nil", err)
+	}
+	if err := h(OpSnapshot); err != nil {
+		t.Fatalf("other op failed: %v", err)
+	}
+}
+
+func TestFailNCustomError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	h := FailN(OpWALAppend, 1, sentinel)
+	if err := h(OpWALAppend); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestPanicN(t *testing.T) {
+	h := PanicN(OpTrain, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("first call did not panic")
+			}
+		}()
+		h(OpTrain)
+	}()
+	if err := h(OpTrain); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	h := Join(nil, FailN(OpTrain, 1, nil), FailN(OpSnapshot, 1, nil))
+	if err := h(OpSnapshot); !errors.Is(err, ErrInjected) {
+		t.Fatalf("joined hook missed op: %v", err)
+	}
+	if err := h(OpTrain); !errors.Is(err, ErrInjected) {
+		t.Fatalf("joined hook missed op: %v", err)
+	}
+	if err := h(OpTrain); err != nil {
+		t.Fatalf("exhausted hook still failing: %v", err)
+	}
+}

@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"net/http"
+
+	"hpm/store"
+)
+
+// Health endpoints for orchestrators:
+//
+//	GET /healthz   liveness — the process answers HTTP
+//	GET /readyz    readiness — the store accepts work; body carries the
+//	               durability recovery summary (snapshot restored, WAL
+//	               records replayed), pending background trains, and the
+//	               bounded train-error ring so a probe can alarm on a
+//	               fleet whose models are quietly failing to refresh.
+//
+// readyz answers 503 once the store is closed (shutdown in progress), so
+// load balancers drain before the final checkpoint runs.
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func handleReadyz(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	h := st.Health()
+	status := http.StatusOK
+	if h.Closed {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": !h.Closed, "health": h})
+}

@@ -8,6 +8,8 @@
 //	GET  /objects/{id}/predict?tq=N&k=K        (or horizon=H instead of tq)
 //	POST /objects/{id}/predict       {"tqs": [N, ...], "k": K}  (batch; or "horizons")
 //	GET  /objects/{id}/trajectory?from=N&to=M  (predicted path, inclusive)
+//	GET  /healthz                    liveness probe
+//	GET  /readyz                     readiness + recovery/training health
 //
 // Predictions return the location, the provenance (pattern vs motion), the
 // ranking score, the pattern confidence, and the consequence region's
@@ -19,6 +21,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 
@@ -64,6 +67,10 @@ func Handler(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("GET /objects/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
 		handleTrajectory(st, w, r)
+	})
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		handleReadyz(st, w, r)
 	})
 	return mux
 }
@@ -140,9 +147,22 @@ func toJSON(p hpm.Prediction) predictionJSON {
 func handlePredict(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	q := r.URL.Query()
-	k := intParam(q.Get("k"), 1)
-	tq := intParam(q.Get("tq"), -1)
-	if h := intParam(q.Get("horizon"), -1); h > 0 {
+	k, err := intParam(q.Get("k"), "k", 1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	tq, err := intParam(q.Get("tq"), "tq", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	h, err := intParam(q.Get("horizon"), "horizon", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	if h > 0 {
 		now, err := st.Now(id)
 		if err != nil {
 			writeError(w, err)
@@ -240,8 +260,16 @@ func handlePredictBatch(st *store.Store, w http.ResponseWriter, r *http.Request)
 func handleTrajectory(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	q := r.URL.Query()
-	from := intParam(q.Get("from"), -1)
-	to := intParam(q.Get("to"), -1)
+	from, err := intParam(q.Get("from"), "from", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	to, err := intParam(q.Get("to"), "to", -1)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
 	if from < 0 || to < from {
 		writeJSON(w, http.StatusBadRequest, errBody("need from <= to"))
 		return
@@ -262,15 +290,18 @@ func handleTrajectory(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"from": from, "to": to, "predictions": out})
 }
 
-func intParam(s string, def int) int {
+// intParam parses a numeric query parameter: absent means the default,
+// malformed is an error the handler turns into a 400 (silently treating
+// ?tq=abc like a missing tq hid client bugs).
+func intParam(s, name string, def int) (int, error) {
 	if s == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("malformed %s=%q: want an integer", name, s)
 	}
-	return v
+	return v, nil
 }
 
 func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
@@ -282,6 +313,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, store.ErrUntrained):
 		status = http.StatusConflict
+	case errors.Is(err, store.ErrInvalidPoint):
+		status = http.StatusBadRequest
 	default:
 		// Invalid query times and similar caller mistakes read as 400s.
 		status = http.StatusBadRequest

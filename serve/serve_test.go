@@ -212,3 +212,75 @@ func TestObserveBodyLimit(t *testing.T) {
 		t.Errorf("oversized body: status %d, want 400", resp.StatusCode)
 	}
 }
+
+func TestMalformedNumericParamsAre400(t *testing.T) {
+	srv, st := testServer(t)
+	if err := st.Observe("bus", hpm.Pt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range []string{
+		"/objects/bus/predict?tq=abc",
+		"/objects/bus/predict?tq=12&k=two",
+		"/objects/bus/predict?horizon=1.5",
+		"/objects/bus/trajectory?from=abc&to=10",
+		"/objects/bus/trajectory?from=1&to=xyz",
+	} {
+		body := getJSON(t, srv.URL+url, http.StatusBadRequest)
+		if body["error"] == nil || body["error"] == "" {
+			t.Errorf("%s: no error message in %v", url, body)
+		}
+	}
+}
+
+func TestObserveRejectsNonFinitePoints(t *testing.T) {
+	srv, st := testServer(t)
+	for _, body := range []string{
+		`{"points": [[1, 2], [NaN, 3]]}`, // invalid JSON too, still 400
+		`{"points": [[1e999, 2]]}`,       // overflows to +Inf
+		`{"points": [[1, -1e999]]}`,      // overflows to -Inf
+	} {
+		resp, err := http.Post(srv.URL+"/objects/bus/observe", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if len(st.Objects()) != 0 {
+		t.Errorf("rejected observes created objects: %v", st.Objects())
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	srv, st := testServer(t)
+	health := getJSON(t, srv.URL+"/healthz", http.StatusOK)
+	if health["ok"] != true {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	ready := getJSON(t, srv.URL+"/readyz", http.StatusOK)
+	if ready["ready"] != true {
+		t.Fatalf("readyz = %v", ready)
+	}
+	h := ready["health"].(map[string]any)
+	if h["closed"] != false || h["durable"] != false { // testServer is in-memory
+		t.Fatalf("health body = %v", h)
+	}
+	if _, ok := h["trainFailures"]; !ok {
+		t.Fatalf("health body missing train-failure summary: %v", h)
+	}
+
+	// After Close the store stops training: readiness flips to 503 so a
+	// balancer drains the instance during shutdown.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	notReady := getJSON(t, srv.URL+"/readyz", http.StatusServiceUnavailable)
+	if notReady["ready"] != false {
+		t.Fatalf("readyz after close = %v", notReady)
+	}
+	// Liveness is unaffected.
+	getJSON(t, srv.URL+"/healthz", http.StatusOK)
+}

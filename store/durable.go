@@ -1,0 +1,251 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hpm"
+	"hpm/internal/faultinject"
+)
+
+// Durable stores: Open roots a store in a directory holding one snapshot
+// plus write-ahead-log segments. Every acknowledged observation is either
+// in the snapshot or in a WAL segment, so a crash at any instant loses
+// nothing acknowledged (in sync mode). Checkpoint compacts: it rotates
+// the WAL, writes a fresh snapshot atomically, and deletes the segments
+// the snapshot covers.
+
+// snapshotFile is the snapshot's name inside a durable store's directory.
+const snapshotFile = "snapshot.hpms"
+
+// Open opens (or creates) a durable store rooted at dir. When a snapshot
+// exists it is loaded — its persisted Options win over opts, matching
+// Load — and the WAL tail is replayed on top, tolerating a torn final
+// record. The returned store logs every ObserveBatch to a fresh WAL
+// segment before acknowledging it; Close checkpoints and releases the
+// log, and Checkpoint may be called periodically in between.
+//
+// opts.WALNoSync is honored even on restore: sync policy belongs to the
+// process, not the snapshot.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A stale temp file is a checkpoint that never completed; the real
+	// snapshot (if any) is intact, so the temp is garbage.
+	os.Remove(filepath.Join(dir, snapshotFile+".tmp"))
+
+	path := filepath.Join(dir, snapshotFile)
+	var s *Store
+	switch _, err := os.Stat(path); {
+	case err == nil:
+		if s, err = LoadFile(path); err != nil {
+			return nil, err
+		}
+		s.restored = true
+	case os.IsNotExist(err):
+		if s, err = New(opts); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	s.dir = dir
+	s.opts.WALNoSync = opts.WALNoSync
+
+	w, err := openWAL(dir, !opts.WALNoSync)
+	if err != nil {
+		return nil, err
+	}
+	replayed, err := s.replaySegments(w.frozen)
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	s.replayed = replayed
+	s.recoverModels()
+	s.wal = w
+	return s, nil
+}
+
+// recoverModels re-runs the update policy over every object after
+// recovery. A crash can eat an in-flight background train (the snapshot
+// holds the history but not the model), and nothing else would reschedule
+// it until the object's next observation — which for a parked vehicle may
+// be never. Failures land in the train-error ring like any other.
+func (s *Store) recoverModels() {
+	s.mu.RLock()
+	objs := make([]*object, 0, len(s.objects))
+	for _, obj := range s.objects {
+		objs = append(objs, obj)
+	}
+	s.mu.RUnlock()
+	for _, obj := range objs {
+		obj.mu.Lock()
+		if err := s.maybeUpdate(obj); err != nil {
+			s.recordTrainErr(err)
+		}
+		obj.mu.Unlock()
+	}
+}
+
+// replaySegments applies the WAL tail left by the previous process on top
+// of the snapshot. Only the newest segment may carry a torn record (older
+// ones were frozen and fsynced before more writes happened); it is
+// repaired in place by replaySegment.
+func (s *Store) replaySegments(paths []string) (int, error) {
+	total := 0
+	for i, p := range paths {
+		final := i == len(paths)-1
+		n, err := replaySegment(p, final, s.applyReplay)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("store: replay %s: %w", filepath.Base(p), err)
+		}
+	}
+	return total, nil
+}
+
+// applyReplay merges one WAL record into the store. The record's offset
+// (the object's track length when it was acknowledged) makes this
+// idempotent: points the snapshot already holds are skipped. An offset
+// beyond the current track would mean an acknowledged record vanished
+// between this one and the snapshot — that is corruption, not a crash
+// artifact, and is reported rather than papered over.
+func (s *Store) applyReplay(rec walRecord) error {
+	obj, err := s.get(rec.id, true)
+	if err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
+	have := len(obj.track)
+	if rec.offset > have {
+		return fmt.Errorf("store: replay gap for %q: record at offset %d, track has %d", rec.id, rec.offset, have)
+	}
+	if rec.offset+len(rec.pts) <= have {
+		return nil // fully covered by the snapshot (or an earlier record)
+	}
+	obj.track = append(obj.track, rec.pts[have-rec.offset:]...)
+	return s.maybeUpdate(obj)
+}
+
+// Checkpoint writes an atomic snapshot of the fleet and reclaims the WAL
+// segments it makes obsolete. Safe to call concurrently with observes and
+// queries: the WAL rotates to a fresh segment first, so records raced in
+// during the snapshot write land in the new segment and replay as no-ops.
+// On any failure every segment is kept, so no acknowledged observation is
+// ever lost to a half-finished checkpoint.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return errors.New("store: Checkpoint requires a store opened with Open")
+	}
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	if err := s.fault(faultinject.OpSnapshot); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	frozen, err := s.wal.rotate()
+	if err != nil {
+		return err
+	}
+	if err := s.SaveFile(filepath.Join(s.dir, snapshotFile)); err != nil {
+		return err
+	}
+	s.wal.reclaim(frozen)
+	return nil
+}
+
+// SaveFile writes a snapshot to path atomically: temp file in the same
+// directory, fsync, rename, directory sync. Readers of path never see a
+// partial snapshot, and a crash mid-write leaves the previous one intact.
+// The file is the Save stream plus a CRC32-C trailer over every preceding
+// byte, so LoadFile detects bit rot that the length-framed stream alone
+// would miss.
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cw := &crcWriter{w: f}
+	err = s.Save(cw)
+	if err == nil {
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+		_, err = f.Write(trailer[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// LoadFile reads a snapshot written by SaveFile, verifying its whole-file
+// checksum before decoding. Corruption anywhere in the file — truncation,
+// a flipped bit, a foreign file — is an error, never a partial fleet.
+func LoadFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: snapshot %s: too short to hold a checksum", path)
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("store: snapshot %s: checksum mismatch (corrupt or truncated)", path)
+	}
+	s, err := Load(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// crcWriter hashes everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, walCRC, p[:n])
+	return n, err
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best effort: some filesystems refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// walAppend logs one acknowledged-to-be batch. Called with obj.mu held so
+// per-object records are ordered like the track itself.
+func (s *Store) walAppend(id string, offset int, pts []hpm.Point) error {
+	if err := s.fault(faultinject.OpWALAppend); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	return s.wal.append(id, offset, pts)
+}

@@ -2,6 +2,9 @@ package store
 
 import (
 	"bytes"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hpm"
@@ -100,6 +103,76 @@ func TestStoreLoadRejectsGarbage(t *testing.T) {
 		if _, err := Load(bytes.NewReader(in)); err == nil {
 			t.Errorf("case %d: garbage snapshot accepted", i)
 		}
+	}
+}
+
+// TestSaveUnderConcurrentObserves snapshots repeatedly while writers keep
+// ingesting: every snapshot must load cleanly (each object's record is a
+// consistent point-in-time cut, taken under its lock). Meant for -race.
+func TestSaveUnderConcurrentObserves(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	feed(t, s, "bike-1", 1, 4)
+	feed(t, s, "bike-2", 2, 4)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w, id := range []string{"bike-1", "bike-2"} {
+		wg.Add(1)
+		go func(w int, id string) {
+			defer wg.Done()
+			spec := hpm.DefaultDatasetSpec(hpm.DatasetBike, int64(w+1))
+			spec.Period = period
+			spec.SubTrajectories = 8
+			pts := hpm.GenerateDataset(spec).Slice(4*period, 8*period)
+			for i := 0; i < len(pts) && !stop.Load(); i += 7 {
+				end := i + 7
+				if end > len(pts) {
+					end = len(pts)
+				}
+				if err := s.ObserveBatch(id, pts[i:end]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w, id)
+	}
+	for i := 0; i < 8; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		back, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		for _, id := range back.Objects() {
+			if _, err := back.Stats(id); err != nil {
+				t.Fatalf("load %d: stats %s: %v", i, id, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	s := testStore(t, Options{MinTrainPeriods: 3})
+	feed(t, s, "bike", 3, 4)
+	path := filepath.Join(t.TempDir(), "fleet.hpms")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Stats("bike")
+	b, err := back.Stats("bike")
+	if err != nil || a.Points != b.Points || a.Trained != b.Trained || a.Patterns != b.Patterns {
+		t.Fatalf("stats differ after file roundtrip: %+v vs %+v (err %v)", a, b, err)
 	}
 }
 

@@ -14,11 +14,15 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hpm"
+	"hpm/internal/faultinject"
 )
 
 // Options configures a Store.
@@ -47,15 +51,41 @@ type Options struct {
 	// SynchronousTraining runs full (re)trains inline on the observing
 	// goroutine, as the store did before background training existed.
 	// Useful for benchmark baselines and for callers that want train
-	// errors returned directly from ObserveBatch.
+	// errors returned directly from ObserveBatch. Synchronous trains are
+	// not retried; the error goes straight back to the caller.
 	SynchronousTraining bool
+	// TrainMaxRetries is how many times a failed or panicked background
+	// train is retried (with exponential backoff) before the store gives
+	// up and waits for the next completed period to reschedule. 0 defaults
+	// to DefaultTrainMaxRetries; negative disables retries.
+	TrainMaxRetries int
+	// TrainRetryBackoff is the delay before the first train retry; it
+	// doubles per attempt up to a 5s cap. Values <= 0 default to
+	// DefaultTrainRetryBackoff.
+	TrainRetryBackoff time.Duration
+	// WALNoSync skips the per-append fsync of a durable store's
+	// write-ahead log, trading the zero-acknowledged-loss crash guarantee
+	// for ingest throughput (a crash may lose records the OS had not yet
+	// flushed; replay still recovers everything older). Open applies this
+	// field from its opts argument even when the rest of the Options come
+	// from a restored snapshot — sync policy belongs to the process.
+	WALNoSync bool
 }
 
 // Defaults for Options fields left at their zero value.
 const (
-	DefaultMinTrainPeriods = 5
-	DefaultMaxRecent       = 10
+	DefaultMinTrainPeriods   = 5
+	DefaultMaxRecent         = 10
+	DefaultTrainMaxRetries   = 3
+	DefaultTrainRetryBackoff = 100 * time.Millisecond
 )
+
+// maxTrainBackoff caps the exponential train-retry backoff.
+const maxTrainBackoff = 5 * time.Second
+
+// trainErrRingCap bounds the store-wide ring of recent train failures;
+// older entries are dropped, the total count keeps climbing.
+const trainErrRingCap = 64
 
 func (o Options) withDefaults() Options {
 	if o.MinTrainPeriods <= 0 {
@@ -70,6 +100,12 @@ func (o Options) withDefaults() Options {
 	if o.TrainWorkers <= 0 {
 		o.TrainWorkers = runtime.NumCPU()
 	}
+	if o.TrainMaxRetries == 0 {
+		o.TrainMaxRetries = DefaultTrainMaxRetries
+	}
+	if o.TrainRetryBackoff <= 0 {
+		o.TrainRetryBackoff = DefaultTrainRetryBackoff
+	}
 	o.Config.SubTrajectories = 0
 	return o
 }
@@ -80,6 +116,10 @@ var ErrUntrained = errors.New("store: object not yet trained")
 
 // ErrUnknownObject is returned for ids never observed.
 var ErrUnknownObject = errors.New("store: unknown object")
+
+// ErrInvalidPoint is returned by Observe/ObserveBatch for NaN or infinite
+// coordinates, which would poison region discovery and motion fitting.
+var ErrInvalidPoint = errors.New("store: non-finite coordinate")
 
 // Store tracks many objects. All methods are safe for concurrent use.
 //
@@ -99,14 +139,32 @@ type Store struct {
 
 	// Background-training machinery. pending counts scheduled trains not
 	// yet swapped in; trainCond broadcasts when it reaches zero; trainSem
-	// bounds concurrent trains to Options.TrainWorkers; trainErrs collects
-	// failures until the next Flush/Close reports them.
+	// bounds concurrent trains to Options.TrainWorkers. Failed train
+	// attempts land in a fixed-size ring — errStart/errCount index it,
+	// errTotal counts every failure ever — drained by Flush/Close and
+	// summarized (without draining) by Health.
 	trainMu   sync.Mutex
 	trainCond *sync.Cond
 	pending   int
 	closed    bool
-	trainErrs []error
+	errRing   [trainErrRingCap]error
+	errStart  int
+	errCount  int
+	errTotal  uint64
 	trainSem  chan struct{}
+
+	// Durability (set by Open, nil/zero otherwise): the write-ahead log
+	// every ObserveBatch appends to before acknowledging, the directory
+	// holding it and the snapshot, and what startup recovery found.
+	wal          *wal
+	dir          string
+	restored     bool // a snapshot was loaded at Open
+	replayed     int  // WAL records replayed at Open
+	checkpointMu sync.Mutex
+
+	// faults, when set, is consulted at durability and training fault
+	// points so tests can inject deterministic failures.
+	faults atomic.Pointer[faultinject.Hook]
 
 	// beforeTrain, when set, runs on the trainer goroutine right before
 	// the model is trained. Test hook: lets tests hold a train in flight
@@ -134,6 +192,10 @@ type object struct {
 	// retrains, so per-object query-path stats survive model swaps. The
 	// live predictor's counters are added on read.
 	queries hpm.QueryStats
+	// lastTrainErr is the most recent train failure, cleared when a train
+	// succeeds; trainFails counts failed attempts over the object's life.
+	lastTrainErr error
+	trainFails   int
 }
 
 // New returns an empty store. Config.Period must be positive.
@@ -179,10 +241,19 @@ func (s *Store) Observe(id string, loc hpm.Point) error {
 	return s.ObserveBatch(id, []hpm.Point{loc})
 }
 
-// ObserveBatch appends consecutive locations in one call.
+// ObserveBatch appends consecutive locations in one call. Non-finite
+// coordinates are rejected with ErrInvalidPoint before anything is
+// recorded. On a durable store the batch is written to the WAL (and, in
+// sync mode, fsynced) before this method returns nil: a nil return means
+// the observations survive a crash.
 func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 	if len(locs) == 0 {
 		return nil
+	}
+	for _, p := range locs {
+		if !isFinite(p) {
+			return fmt.Errorf("%w: (%v, %v)", ErrInvalidPoint, p.X, p.Y)
+		}
 	}
 	obj, err := s.get(id, true)
 	if err != nil {
@@ -190,8 +261,37 @@ func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 	}
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
+	if s.wal != nil {
+		if err := s.walAppend(id, len(obj.track), locs); err != nil {
+			return err // not acknowledged: the track is untouched
+		}
+	}
 	obj.track = append(obj.track, locs...)
 	return s.maybeUpdate(obj)
+}
+
+func isFinite(p hpm.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// SetFaultHook installs (or, with nil, clears) a fault-injection hook
+// consulted at the store's training and durability fault points — see
+// internal/faultinject. Intended for tests; safe to swap at runtime.
+func (s *Store) SetFaultHook(h faultinject.Hook) {
+	if h == nil {
+		s.faults.Store(nil)
+		return
+	}
+	s.faults.Store(&h)
+}
+
+// fault consults the injection hook; a nil hook always allows.
+func (s *Store) fault(op faultinject.Op) error {
+	if h := s.faults.Load(); h != nil {
+		return (*h)(op)
+	}
+	return nil
 }
 
 // maybeUpdate trains, extends or retrains the object's model according to
@@ -241,17 +341,40 @@ func (s *Store) startTrain(obj *object, completed int) error {
 	return nil
 }
 
-// train fully (re)trains obj over its first completed periods. Called with
-// obj.mu held.
+// train fully (re)trains obj over its first completed periods, inline and
+// without retries (SynchronousTraining callers get the error directly).
+// Called with obj.mu held.
 func (s *Store) train(obj *object, completed int) error {
-	cfg := s.opts.Config
-	pts := obj.track[:completed*cfg.Period]
-	p, err := hpm.TrainPoints(pts, cfg)
+	p, err := s.trainGuarded(obj.track[:completed*s.opts.Config.Period])
 	if err != nil {
-		return fmt.Errorf("store: train: %w", err)
+		err = fmt.Errorf("store: train: %w", err)
+		obj.trainFails++
+		obj.lastTrainErr = err
+		return err
 	}
+	obj.lastTrainErr = nil
 	obj.swapPredictor(p, completed)
 	return nil
+}
+
+// trainGuarded trains a predictor off pts under the worker semaphore,
+// converting panics into errors: one poisoned track must never take down
+// the whole fleet's process.
+func (s *Store) trainGuarded(pts []hpm.Point) (p *hpm.Predictor, err error) {
+	s.trainSem <- struct{}{}
+	defer func() { <-s.trainSem }()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if hook := s.beforeTrain; hook != nil {
+		hook()
+	}
+	if err := s.fault(faultinject.OpTrain); err != nil {
+		return nil, err
+	}
+	return hpm.TrainPoints(pts, s.opts.Config)
 }
 
 // swapPredictor installs a freshly trained predictor, banking the retired
@@ -288,32 +411,53 @@ func (s *Store) scheduleTrain(obj *object, completed int) {
 // runTrain is the background trainer: it trains a fresh predictor off the
 // snapshot without holding any lock, swaps it in under obj.mu, and re-runs
 // the update policy to catch up on periods completed during training.
+// Failures — including panics, which trainGuarded converts — are retried
+// with exponential backoff up to Options.TrainMaxRetries; each attempt's
+// error lands in the bounded ring and on the object's Stats. A train that
+// exhausts its retries leaves the object serving its previous predictor,
+// and the next completed period schedules a fresh train.
 func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
-	s.trainSem <- struct{}{}
-	if hook := s.beforeTrain; hook != nil {
-		hook()
+	maxRetries := s.opts.TrainMaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
 	}
-	p, err := hpm.TrainPoints(pts, s.opts.Config)
-	<-s.trainSem
+	backoff := s.opts.TrainRetryBackoff
+	var p *hpm.Predictor
+	var err error
+	for attempt := 0; ; attempt++ {
+		p, err = s.trainGuarded(pts)
+		if err == nil {
+			break
+		}
+		err = fmt.Errorf("store: train (attempt %d): %w", attempt+1, err)
+		s.recordTrainErr(err)
+		obj.mu.Lock()
+		obj.trainFails++
+		obj.lastTrainErr = err
+		obj.mu.Unlock()
+		if attempt >= maxRetries {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff < maxTrainBackoff {
+			backoff *= 2
+		}
+	}
 
 	obj.mu.Lock()
 	obj.training = false
-	if err != nil {
-		err = fmt.Errorf("store: train: %w", err)
-	} else {
+	if err == nil {
+		obj.lastTrainErr = nil
 		obj.swapPredictor(p, completed)
 		// Catch up: extend (or re-schedule a retrain) over periods that
 		// completed while this train was running.
 		if uerr := s.maybeUpdate(obj); uerr != nil {
-			err = uerr
+			s.recordTrainErr(uerr)
 		}
 	}
 	obj.mu.Unlock()
 
 	s.trainMu.Lock()
-	if err != nil {
-		s.trainErrs = append(s.trainErrs, err)
-	}
 	s.pending--
 	if s.pending == 0 {
 		s.trainCond.Broadcast()
@@ -321,29 +465,65 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 	s.trainMu.Unlock()
 }
 
+// recordTrainErr pushes one failure into the bounded ring, evicting the
+// oldest entry when full. The all-time counter never resets.
+func (s *Store) recordTrainErr(err error) {
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	s.errTotal++
+	if s.errCount < trainErrRingCap {
+		s.errRing[(s.errStart+s.errCount)%trainErrRingCap] = err
+		s.errCount++
+		return
+	}
+	s.errRing[s.errStart] = err
+	s.errStart = (s.errStart + 1) % trainErrRingCap
+}
+
+// trainErrsLocked returns the ring's contents oldest-first. Caller holds
+// trainMu.
+func (s *Store) trainErrsLocked() []error {
+	errs := make([]error, 0, s.errCount)
+	for i := 0; i < s.errCount; i++ {
+		errs = append(errs, s.errRing[(s.errStart+i)%trainErrRingCap])
+	}
+	return errs
+}
+
 // Flush blocks until no background trains are pending — including any
-// catch-up trains they schedule — and returns their accumulated errors
-// (nil when training succeeded or nothing was pending). After Flush, every
-// Observe made before the call is reflected in the objects' models.
+// catch-up trains they schedule and retry backoffs in progress — and
+// returns the failures accumulated since the last Flush (nil when training
+// succeeded or nothing was pending; a retried-then-successful train still
+// reports its failed attempts). After Flush, every Observe made before the
+// call is reflected in the objects' models.
 func (s *Store) Flush() error {
 	s.trainMu.Lock()
 	defer s.trainMu.Unlock()
 	for s.pending > 0 {
 		s.trainCond.Wait()
 	}
-	err := errors.Join(s.trainErrs...)
-	s.trainErrs = nil
+	err := errors.Join(s.trainErrsLocked()...)
+	s.errStart, s.errCount = 0, 0
+	for i := range s.errRing {
+		s.errRing[i] = nil
+	}
 	return err
 }
 
 // Close drains pending background trains and stops scheduling new ones.
-// Observations and queries still work after Close, but models are no
-// longer retrained. Returns any accumulated training errors.
+// A durable store additionally writes a final checkpoint and releases its
+// WAL. Observations and queries still work after Close on an in-memory
+// store, but models are no longer retrained. Returns any accumulated
+// training errors joined with checkpoint errors.
 func (s *Store) Close() error {
 	s.trainMu.Lock()
 	s.closed = true
 	s.trainMu.Unlock()
-	return s.Flush()
+	err := s.Flush()
+	if s.wal != nil {
+		err = errors.Join(err, s.Checkpoint(), s.wal.close())
+	}
+	return err
 }
 
 // Predict estimates the object's location at absolute time tq (timestamps
@@ -439,6 +619,12 @@ type ObjectStats struct {
 	Regions    int
 	Patterns   int
 	IndexBytes int
+	// TrainFailures counts failed train attempts over the object's life;
+	// LastTrainError is the most recent one, cleared by a successful
+	// train. A non-empty value with Trained=true means the object is
+	// serving its previous model while retrains fail.
+	TrainFailures  int
+	LastTrainError string `json:",omitempty"`
 	// Queries summarizes the object's query traffic by answering path.
 	Queries hpm.QueryStats
 }
@@ -452,12 +638,16 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
 	st := ObjectStats{
-		ID:       id,
-		Points:   len(obj.track),
-		Periods:  len(obj.track) / s.opts.Config.Period,
-		Training: obj.training,
-		Modeled:  obj.modeled,
-		Queries:  obj.queries,
+		ID:            id,
+		Points:        len(obj.track),
+		Periods:       len(obj.track) / s.opts.Config.Period,
+		Training:      obj.training,
+		Modeled:       obj.modeled,
+		TrainFailures: obj.trainFails,
+		Queries:       obj.queries,
+	}
+	if obj.lastTrainErr != nil {
+		st.LastTrainError = obj.lastTrainErr.Error()
 	}
 	if obj.predictor != nil {
 		st.Trained = true
@@ -467,6 +657,46 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 		st.Queries = st.Queries.Add(obj.predictor.QueryStats())
 	}
 	return st, nil
+}
+
+// Health summarizes the store's fitness to serve, for readiness probes.
+type Health struct {
+	Objects       int  `json:"objects"`
+	PendingTrains int  `json:"pendingTrains"`
+	Closed        bool `json:"closed"`
+	// Durable reports whether a WAL is attached; SnapshotRestored and
+	// WALReplayed describe what startup recovery found.
+	Durable          bool `json:"durable"`
+	SnapshotRestored bool `json:"snapshotRestored"`
+	WALReplayed      int  `json:"walReplayed"`
+	// TrainFailures counts every failed train attempt since the process
+	// started; RecentTrainErrors is the bounded ring's current contents
+	// (oldest first, cleared by Flush).
+	TrainFailures     uint64   `json:"trainFailures"`
+	RecentTrainErrors []string `json:"recentTrainErrors,omitempty"`
+}
+
+// Health reports the store's current health without draining the train
+// error ring.
+func (s *Store) Health() Health {
+	s.mu.RLock()
+	n := len(s.objects)
+	s.mu.RUnlock()
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	h := Health{
+		Objects:          n,
+		PendingTrains:    s.pending,
+		Closed:           s.closed,
+		Durable:          s.wal != nil,
+		SnapshotRestored: s.restored,
+		WALReplayed:      s.replayed,
+		TrainFailures:    s.errTotal,
+	}
+	for _, err := range s.trainErrsLocked() {
+		h.RecentTrainErrors = append(h.RecentTrainErrors, err.Error())
+	}
+	return h
 }
 
 // Objects lists all tracked ids, sorted.

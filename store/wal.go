@@ -1,0 +1,309 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"hpm"
+)
+
+// Write-ahead observation log. Every ObserveBatch against a durable store
+// appends one record — object id, track offset, points — to the current
+// WAL segment before the observation is acknowledged, so a crash between
+// snapshots loses nothing that a client was told succeeded.
+//
+// Record layout (all integers little-endian):
+//
+//	record  := uvarint(len(payload)) payload uint32(crc32c(payload))
+//	payload := uvarint(len(id)) id uvarint(offset) uvarint(n) n×(f64 x, f64 y)
+//
+// offset is the object's track length when the record was written, which
+// makes replay idempotent: a record whose points are already covered by
+// the snapshot (offset+n <= len(track)) is skipped, and a partial overlap
+// appends only the missing tail. That lets a checkpoint rotate to a fresh
+// segment *before* writing the snapshot — records raced into the new
+// segment while the snapshot is being written replay as no-ops.
+//
+// The log is segmented: each process start and each checkpoint opens a
+// fresh segment, and a checkpoint deletes the segments its snapshot made
+// obsolete. Segments are never appended to after being frozen, so a torn
+// record — a crash mid-append — can only sit at the tail of the newest
+// segment; replay discards it (it was never acknowledged, assuming sync
+// mode) and truncates the segment so the tear cannot be mistaken for
+// corruption later. A checksum failure in an older, fsynced segment is
+// reported as an error: that is disk damage, not a crash artifact.
+
+const (
+	walSegmentPattern = "wal-*.log"
+	walSegmentFormat  = "wal-%010d.log"
+	// maxWALRecord bounds one record's payload (1 MiB of JSON observe body
+	// can't produce more points than this allows).
+	maxWALRecord = 64 << 20
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is the store's write-ahead log handle: one open segment plus the
+// frozen segments awaiting the next checkpoint.
+type wal struct {
+	dir  string
+	sync bool // fsync after every append
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	frozen []string // closed segments, oldest first, reclaimed at checkpoint
+	buf    []byte   // append scratch, reused across records
+}
+
+// openWAL scans dir for existing segments (they become frozen — replayed
+// by the caller, reclaimed by the next checkpoint) and opens a fresh
+// segment after them. It never appends to a pre-existing segment, so a
+// torn tail stays where replay repaired it.
+func openWAL(dir string, syncEach bool) (*wal, error) {
+	frozen, last, err := walSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, sync: syncEach, frozen: frozen, seq: last}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// walSegments lists dir's WAL segments sorted by sequence number and
+// returns the highest sequence seen.
+func walSegments(dir string) (paths []string, last uint64, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, walSegmentPattern))
+	if err != nil {
+		return nil, 0, err
+	}
+	type seg struct {
+		path string
+		seq  uint64
+	}
+	segs := make([]seg, 0, len(matches))
+	for _, m := range matches {
+		var n uint64
+		if _, err := fmt.Sscanf(filepath.Base(m), walSegmentFormat, &n); err != nil {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, seg{m, n})
+		if n > last {
+			last = n
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for _, s := range segs {
+		paths = append(paths, s.path)
+	}
+	return paths, last, nil
+}
+
+// openSegmentLocked opens segment seq+1 for appending.
+func (w *wal) openSegmentLocked() error {
+	w.seq++
+	path := filepath.Join(w.dir, fmt.Sprintf(walSegmentFormat, w.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open wal segment: %w", err)
+	}
+	w.f = f
+	return nil
+}
+
+// append writes one record and, in sync mode, fsyncs before returning, so
+// the caller may acknowledge the observation.
+func (w *wal) append(id string, offset int, pts []hpm.Point) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("store: wal closed")
+	}
+	var u [binary.MaxVarintLen64]byte
+	// Payload first, so its length can prefix it.
+	p := w.buf[:0]
+	p = append(p, u[:binary.PutUvarint(u[:], uint64(len(id)))]...)
+	p = append(p, id...)
+	p = append(p, u[:binary.PutUvarint(u[:], uint64(offset))]...)
+	p = append(p, u[:binary.PutUvarint(u[:], uint64(len(pts)))]...)
+	for _, pt := range pts {
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(pt.X))
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(pt.Y))
+	}
+	rec := make([]byte, 0, len(p)+binary.MaxVarintLen64+4)
+	rec = append(rec, u[:binary.PutUvarint(u[:], uint64(len(p)))]...)
+	rec = append(rec, p...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(p, walCRC))
+	w.buf = p // keep the larger scratch for reuse
+
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// rotate freezes the current segment and opens the next one, returning
+// the full frozen list (oldest first) for the checkpoint to reclaim once
+// its snapshot is durable.
+func (w *wal) rotate() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil, errors.New("store: wal closed")
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, err
+	}
+	path := w.f.Name()
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	w.frozen = append(w.frozen, path)
+	if err := w.openSegmentLocked(); err != nil {
+		w.f = nil
+		return nil, err
+	}
+	return append([]string(nil), w.frozen...), nil
+}
+
+// reclaim deletes frozen segments made obsolete by a durable snapshot.
+func (w *wal) reclaim(paths []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	gone := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if err := os.Remove(p); err == nil || os.IsNotExist(err) {
+			gone[p] = true
+		}
+	}
+	kept := w.frozen[:0]
+	for _, p := range w.frozen {
+		if !gone[p] {
+			kept = append(kept, p)
+		}
+	}
+	w.frozen = kept
+}
+
+// close syncs and closes the current segment. Appends fail afterwards.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	id     string
+	offset int
+	pts    []hpm.Point
+}
+
+// replaySegment reads records from path, calling apply for each valid
+// record in order. A torn or checksum-failing tail is tolerated only when
+// final is set (the newest segment, where a crash mid-append lands): the
+// segment is truncated back to its valid prefix so later replays see a
+// clean log. The same damage in a frozen, fsynced segment is reported as
+// corruption.
+func replaySegment(path string, final bool, apply func(walRecord) error) (records int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	valid := 0 // byte length of the valid prefix
+	for valid < len(data) {
+		rec, n, derr := decodeWALRecord(data[valid:])
+		if derr != nil {
+			if !final {
+				return records, fmt.Errorf("store: wal %s: corrupt record at byte %d: %w", filepath.Base(path), valid, derr)
+			}
+			// Torn tail: discard it and repair the segment in place so a
+			// future replay (when this segment is no longer the newest)
+			// does not mistake the tear for corruption.
+			if terr := os.Truncate(path, int64(valid)); terr != nil {
+				return records, fmt.Errorf("store: wal truncate torn tail: %w", terr)
+			}
+			return records, nil
+		}
+		if aerr := apply(rec); aerr != nil {
+			return records, aerr
+		}
+		valid += n
+		records++
+	}
+	return records, nil
+}
+
+// decodeWALRecord decodes one record from the front of data, returning it
+// and the bytes consumed. Any shortfall or checksum mismatch is an error —
+// the caller decides whether that means a torn tail or corruption.
+func decodeWALRecord(data []byte) (walRecord, int, error) {
+	plen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return walRecord{}, 0, io.ErrUnexpectedEOF
+	}
+	if plen > maxWALRecord {
+		return walRecord{}, 0, fmt.Errorf("implausible record length %d", plen)
+	}
+	total := n + int(plen) + 4
+	if total > len(data) {
+		return walRecord{}, 0, io.ErrUnexpectedEOF
+	}
+	payload := data[n : n+int(plen)]
+	want := binary.LittleEndian.Uint32(data[n+int(plen):])
+	if crc32.Checksum(payload, walCRC) != want {
+		return walRecord{}, 0, errors.New("checksum mismatch")
+	}
+
+	idLen, m := binary.Uvarint(payload)
+	if m <= 0 || uint64(m)+idLen > uint64(len(payload)) {
+		return walRecord{}, 0, errors.New("bad id length")
+	}
+	payload = payload[m:]
+	id := string(payload[:idLen])
+	payload = payload[idLen:]
+	offset, m := binary.Uvarint(payload)
+	if m <= 0 {
+		return walRecord{}, 0, errors.New("bad offset")
+	}
+	payload = payload[m:]
+	count, m := binary.Uvarint(payload)
+	if m <= 0 {
+		return walRecord{}, 0, errors.New("bad point count")
+	}
+	payload = payload[m:]
+	if uint64(len(payload)) != count*16 {
+		return walRecord{}, 0, fmt.Errorf("point bytes %d != 16×%d", len(payload), count)
+	}
+	pts := make([]hpm.Point, count)
+	for i := range pts {
+		pts[i] = hpm.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(payload[i*16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(payload[i*16+8:])),
+		)
+	}
+	return walRecord{id: id, offset: int(offset), pts: pts}, total, nil
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpm"
+)
+
+// walPoints builds a recognizable point run: (base, base+1), (base+1, base+2), ...
+func walPoints(base, n int) []hpm.Point {
+	pts := make([]hpm.Point, n)
+	for i := range pts {
+		pts[i] = hpm.Pt(float64(base+i), float64(base+i+1))
+	}
+	return pts
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []walRecord{
+		{id: "bus-1", offset: 0, pts: walPoints(0, 3)},
+		{id: "bus-2", offset: 0, pts: walPoints(100, 1)},
+		{id: "bus-1", offset: 3, pts: walPoints(3, 5)},
+	}
+	for _, rec := range want {
+		if err := w.append(rec.id, rec.offset, rec.pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, _, err := walSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v, %v", segs, err)
+	}
+	var got []walRecord
+	n, err := replaySegment(segs[0], true, func(r walRecord) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || n != len(want) {
+		t.Fatalf("replayed %d records, err %v", n, err)
+	}
+	for i, rec := range got {
+		if rec.id != want[i].id || rec.offset != want[i].offset || len(rec.pts) != len(want[i].pts) {
+			t.Fatalf("record %d: %+v != %+v", i, rec, want[i])
+		}
+		for j, p := range rec.pts {
+			if p != want[i].pts[j] {
+				t.Fatalf("record %d point %d: %v != %v", i, j, p, want[i].pts[j])
+			}
+		}
+	}
+}
+
+func TestWALTornTailToleratedAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.append("bus", i*4, walPoints(i*4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := walSegments(dir)
+	path := segs[0]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop the file at every byte length inside the final record: replay
+	// must keep the first two records and never error.
+	recLen := len(data) / 3
+	for cut := 2*recLen + 1; cut < len(data); cut++ {
+		p := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n, err := replaySegment(p, true, func(walRecord) error { return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n != 2 {
+			t.Fatalf("cut %d: replayed %d records, want 2", cut, n)
+		}
+		// The tear was truncated away: a second replay of the same file as
+		// a frozen (non-final) segment must now succeed cleanly.
+		if _, err := replaySegment(p, false, func(walRecord) error { return nil }); err != nil {
+			t.Fatalf("cut %d not repaired: %v", cut, err)
+		}
+	}
+}
+
+func TestWALCorruptionInFrozenSegmentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append("bus", 0, walPoints(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, _ := walSegments(dir)
+	data, _ := os.ReadFile(segs[0])
+	data[len(data)/2] ^= 0xFF // flip a payload bit: checksum must catch it
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replaySegment(segs[0], false, func(walRecord) error { return nil }); err == nil {
+		t.Fatal("corrupt frozen segment replayed without error")
+	}
+}
+
+func TestWALRotateReclaim(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append("a", 0, walPoints(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := w.rotate()
+	if err != nil || len(frozen) != 1 {
+		t.Fatalf("rotate: %v, %v", frozen, err)
+	}
+	if err := w.append("a", 1, walPoints(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Both the frozen and the live segment exist until reclaim.
+	if segs, _, _ := walSegments(dir); len(segs) != 2 {
+		t.Fatalf("segments before reclaim: %v", segs)
+	}
+	w.reclaim(frozen)
+	segs, _, _ := walSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments after reclaim: %v", segs)
+	}
+	if segs[0] == frozen[0] {
+		t.Fatal("reclaim removed the live segment")
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALSegmentsResumeNumbering(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openWAL(dir, false)
+	w.append("a", 0, walPoints(0, 1))
+	w.close()
+	// A second process start must not reuse (and clobber) segment 1.
+	w2, err := openWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(w2.frozen) != 1 {
+		t.Fatalf("prior segment not frozen: %v", w2.frozen)
+	}
+	segs, last, _ := walSegments(dir)
+	if len(segs) != 2 || last != 2 {
+		t.Fatalf("segments %v, last %d", segs, last)
+	}
+}
