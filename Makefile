@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query chaos
+.PHONY: build test race vet bench bench-query bench-ingest chaos
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 # Crash-safety suite under the race detector: kill/restart recovery, torn
 # WAL tails, injected WAL/snapshot/train faults, snapshot robustness.
 chaos:
-	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join' -count=1 ./store/... ./internal/faultinject/...
+	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard' -count=1 ./store/... ./internal/faultinject/...
 
 vet:
 	$(GO) vet ./...
@@ -33,3 +33,10 @@ bench:
 #   go run ./cmd/hpmbench -experiment queries -json
 bench-query:
 	$(GO) test -bench='BenchmarkPredict(FQP|BQP)$$|BenchmarkQueryThroughput$$' -benchmem -run '^$$' .
+
+# Ingest-path benchmarks only: ObserveBatch under concurrent writers in
+# sync/nosync/single-shard modes, with fsyncs-per-op reported. The full
+# experiment (and BENCH_ingest.json) comes from:
+#   go run ./cmd/hpmbench -experiment ingest -json
+bench-ingest:
+	$(GO) test -bench='BenchmarkObserveParallel' -benchmem -run '^$$' ./store/

@@ -80,6 +80,10 @@ func BenchmarkChooseLeafAblation(b *testing.B) { benchExperiment(b, "tpt-choosel
 // amortization against a live store.
 func BenchmarkQueryThroughput(b *testing.B) { benchExperiment(b, "queries") }
 
+// Ingest throughput: group-commit WAL under concurrent sync writers,
+// shard contention, and fleet-batch amortization.
+func BenchmarkIngestThroughput(b *testing.B) { benchExperiment(b, "ingest") }
+
 // --- micro-benchmarks -------------------------------------------------
 
 // benchPredictor trains one moderate Bike model for query benches.

@@ -5,6 +5,8 @@
 //
 //	curl -XPOST localhost:8080/objects/bus-7/observe \
 //	     -d '{"points": [[120.5, 88.2], [121.0, 90.1]]}'
+//	curl -XPOST localhost:8080/observe \
+//	     -d '[{"id": "bus-7", "points": [[120.5, 88.2]]}, {"id": "bus-8", "points": [[4.2, 9.9]]}]'
 //	curl 'localhost:8080/objects/bus-7/predict?horizon=30&k=3'
 //	curl 'localhost:8080/objects/bus-7/trajectory?from=900&to=950'
 //	curl  localhost:8080/objects
@@ -19,6 +21,10 @@
 // The legacy -snapshot flag keeps the old lighter mode: restore from a
 // single snapshot file at startup and save it on SIGINT/SIGTERM only (a
 // crash loses everything since the last graceful shutdown).
+//
+// -pprof 127.0.0.1:6060 serves net/http/pprof on a second, loopback-only
+// mux so ingest and query hotspots can be profiled in place without
+// exposing profiles on the API address.
 package main
 
 import (
@@ -26,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,8 +59,13 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable store directory (WAL + snapshots); crash-safe, supersedes -snapshot")
 		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown only)")
 		walSync  = flag.Bool("wal-sync", true, "fsync the WAL on every observe; disable to trade crash durability for ingest throughput")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		go servePprof(*pprofAt)
+	}
 
 	opts := store.Options{
 		Config: hpm.Config{
@@ -119,6 +132,32 @@ func openStore(dataDir, snapshot string, opts store.Options) (*store.Store, erro
 		}
 	}
 	return store.New(opts)
+}
+
+// servePprof exposes the runtime profiler on its own mux, never the API
+// server's: profiles leak heap contents and must not ride the public
+// listen address. Only loopback addresses are accepted, so a stray
+// -pprof 0.0.0.0:6060 is refused rather than silently exposed.
+func servePprof(addr string) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Printf("hpmserve: -pprof %q: %v", addr, err)
+		return
+	}
+	if host != "localhost" && !net.ParseIP(host).IsLoopback() {
+		log.Printf("hpmserve: -pprof %q refused: profiling binds loopback addresses only", addr)
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Printf("pprof listening on %s (CPU: /debug/pprof/profile, heap: /debug/pprof/heap)\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("hpmserve: pprof: %v", err)
+	}
 }
 
 // snapshotLoop checkpoints the durable store on a fixed cadence so the

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpm"
+	"hpm/store"
+)
+
+func init() {
+	register("ingest",
+		"Ingest throughput: group-commit WAL under concurrent sync writers, shard-map contention, and fleet-batch amortization", ingest)
+}
+
+// ingestWriters is the concurrency sweep of the ingest figures.
+var ingestWriters = []int{1, 2, 4, 8}
+
+// fleetBatchSizes is the ObserveAll amortization sweep; size 1 is the
+// per-object ObserveBatch baseline.
+var fleetBatchSizes = []int{1, 4, 16, 64}
+
+// ingest measures the durable write path:
+//
+//   - acknowledged ops/s and fsyncs/op at 1/2/4/8 concurrent writers in
+//     sync mode — the group-commit figure. One writer pays one fsync per
+//     ack; concurrent writers stage into a shared batch a leader flushes
+//     with a single fsync, so fsyncs/op falls below 1 and throughput
+//     rises past the disk's fsync rate. The effect survives GOMAXPROCS=1
+//     (recorded in the titles): fsync blocks in a syscall, releasing the
+//     CPU to the writers that are staging the next batch;
+//   - the same sweep with fsyncs off, sharded (default 64) vs a single
+//     shard — isolating object-table lock contention from disk latency;
+//   - fleet batches: a fixed budget of observations acknowledged through
+//     ObserveAll in growing batch sizes, all in sync mode. Every batch is
+//     one WAL group write and one fsync regardless of how many objects it
+//     touches, so throughput scales with the batch size.
+//
+// Writers use distinct ids (fleet ingest, not one object's write lock)
+// and training is disabled so the figures time the ingest path alone.
+func ingest(o Options) []Figure {
+	o = o.withDefaults()
+	ops := 2000 // acknowledged ObserveBatch calls per concurrency level
+	if o.Quick {
+		ops = 400
+	}
+
+	syncThr := Series{Name: "sync ops/s"}
+	syncF := Series{Name: "fsyncs/op"}
+	shardThr := Series{Name: "64 shards"}
+	oneThr := Series{Name: "1 shard"}
+
+	for _, w := range ingestWriters {
+		opsPerSec, fsyncsPerOp := ingestLevel(false, 0, w, ops)
+		syncThr.X = append(syncThr.X, float64(w))
+		syncThr.Y = append(syncThr.Y, opsPerSec)
+		syncF.X = append(syncF.X, float64(w))
+		syncF.Y = append(syncF.Y, fsyncsPerOp)
+
+		opsPerSec, _ = ingestLevel(true, 0, w, ops)
+		shardThr.X = append(shardThr.X, float64(w))
+		shardThr.Y = append(shardThr.Y, opsPerSec)
+		opsPerSec, _ = ingestLevel(true, 1, w, ops)
+		oneThr.X = append(oneThr.X, float64(w))
+		oneThr.Y = append(oneThr.Y, opsPerSec)
+	}
+
+	fleet := fleetBatchSweep(ops)
+
+	suffix := fmt.Sprintf(" — %d ops/level, GOMAXPROCS=%d", ops, runtime.GOMAXPROCS(0))
+	return []Figure{
+		{
+			ID:     "ingest-sync-throughput",
+			Title:  "Durable Ingest Throughput vs Writers (sync WAL)" + suffix,
+			XLabel: "writers",
+			YLabel: "acknowledged ops/s",
+			Series: []Series{syncThr},
+		},
+		{
+			ID:     "ingest-sync-fsyncs",
+			Title:  "Fsyncs per Acknowledged Op vs Writers (group commit)" + suffix,
+			XLabel: "writers",
+			YLabel: "fsyncs/op",
+			Series: []Series{syncF},
+		},
+		{
+			ID:     "ingest-nosync-shards",
+			Title:  "In-Memory Ingest vs Writers: sharded vs single-lock table" + suffix,
+			XLabel: "writers",
+			YLabel: "ops/s",
+			Series: []Series{shardThr, oneThr},
+		},
+		{
+			ID:     "ingest-fleet-batch",
+			Title:  "Fleet Batch Amortization (ObserveAll, sync WAL)" + suffix,
+			XLabel: "observations per batch",
+			YLabel: "acknowledged observations/s",
+			Series: []Series{fleet},
+		},
+	}
+}
+
+// ingestLevel runs one concurrency level against a fresh durable store
+// and returns acknowledged ops/s and fsyncs per op.
+func ingestLevel(noSync bool, shards, writers, total int) (opsPerSec, fsyncsPerOp float64) {
+	st, dir := ingestStore(noSync, shards)
+	defer os.RemoveAll(dir)
+	defer st.Close()
+
+	pts := []hpm.Point{hpm.Pt(1, 2), hpm.Pt(3, 4), hpm.Pt(5, 6), hpm.Pt(7, 8)}
+	before := st.WALStats()
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("writer-%d", w)
+			for next.Add(1) <= int64(total) {
+				if err := st.ObserveBatch(id, pts); err != nil {
+					panic(fmt.Sprintf("experiments: ingest observe: %v", err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	after := st.WALStats()
+	return float64(total) / wall.Seconds(),
+		float64(after.Fsyncs-before.Fsyncs) / float64(total)
+}
+
+// fleetBatchSweep acknowledges a fixed observation budget through
+// ObserveAll at growing batch sizes, sync WAL, one goroutine.
+func fleetBatchSweep(total int) Series {
+	s := Series{Name: "ObserveAll"}
+	pts := []hpm.Point{hpm.Pt(1, 2), hpm.Pt(3, 4)}
+	for _, size := range fleetBatchSizes {
+		st, dir := ingestStore(false, 0)
+		batch := make([]store.Observation, size)
+		for i := range batch {
+			batch[i] = store.Observation{ID: fmt.Sprintf("fleet-%d", i), Points: pts}
+		}
+		rounds := total / size
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			if err := st.ObserveAll(batch); err != nil {
+				panic(fmt.Sprintf("experiments: fleet batch: %v", err))
+			}
+		}
+		wall := time.Since(start)
+		st.Close()
+		os.RemoveAll(dir)
+		s.X = append(s.X, float64(size))
+		s.Y = append(s.Y, float64(rounds*size)/wall.Seconds())
+	}
+	return s
+}
+
+// ingestStore opens a durable store in a fresh temp dir with training
+// disabled; the caller closes it and removes the dir.
+func ingestStore(noSync bool, shards int) (*store.Store, string) {
+	dir, err := os.MkdirTemp("", "hpm-ingest-*")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: tempdir: %v", err))
+	}
+	st, err := store.Open(dir, store.Options{
+		Config:          hpm.Config{Period: 300},
+		MinTrainPeriods: 1 << 20, // never train: time the ingest path alone
+		WALNoSync:       noSync,
+		Shards:          shards,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: open: %v", err))
+	}
+	return st, dir
+}

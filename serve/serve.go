@@ -2,6 +2,7 @@
 // tracking backend would embed:
 //
 //	POST /objects/{id}/observe       {"points": [[x, y], ...]}
+//	POST /observe                    [{"id": "...", "points": [[x, y], ...]}, ...]
 //	POST /flush                      drain background trains
 //	GET  /objects                    -> {"objects": ["bus-7", ...]}
 //	GET  /objects/{id}/stats         -> object summary + query-path counters
@@ -33,6 +34,10 @@ import (
 // thousands of points), protecting the server from unbounded payloads.
 const maxObserveBody = 1 << 20
 
+// maxFleetBody bounds one bulk observe request: a fleet tick touches many
+// objects, so it gets more headroom than a single-object observe.
+const maxFleetBody = 8 << 20
+
 // Handler returns the HTTP handler for the store.
 func Handler(st *store.Store) http.Handler {
 	mux := http.NewServeMux()
@@ -41,6 +46,12 @@ func Handler(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("POST /objects/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
 		handleObserve(st, w, r)
+	})
+	// Bulk ingest: one request observes many objects, and on a durable
+	// store the whole fleet tick rides a single WAL group commit (one
+	// fsync for the entire request).
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		handleObserveFleet(st, w, r)
 	})
 	// Flush drains background (re)trains: afterwards every prior observe
 	// is reflected in the models. Training failures surface here.
@@ -107,6 +118,56 @@ func handleObserve(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		"now":      now,
 		"trained":  stats.Trained,
 		"training": stats.Training,
+	})
+}
+
+// fleetObservation is one element of the bulk observe body.
+type fleetObservation struct {
+	ID     string       `json:"id"`
+	Points [][2]float64 `json:"points"`
+}
+
+func handleObserveFleet(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	var req []fleetObservation
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFleetBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad body: "+err.Error()))
+		return
+	}
+	if len(req) == 0 {
+		writeJSON(w, http.StatusBadRequest, errBody("no observations"))
+		return
+	}
+	batch := make([]store.Observation, len(req))
+	points := 0
+	for i, ob := range req {
+		if ob.ID == "" {
+			writeJSON(w, http.StatusBadRequest, errBody("observation without id"))
+			return
+		}
+		if len(ob.Points) == 0 {
+			writeJSON(w, http.StatusBadRequest, errBody("observation for "+ob.ID+" has no points"))
+			return
+		}
+		pts := make([]hpm.Point, len(ob.Points))
+		for j, xy := range ob.Points {
+			pts[j] = hpm.Pt(xy[0], xy[1])
+		}
+		batch[i] = store.Observation{ID: ob.ID, Points: pts}
+		points += len(pts)
+	}
+	if err := st.ObserveAll(batch); err != nil {
+		writeError(w, err)
+		return
+	}
+	ids := map[string]bool{}
+	for _, ob := range batch {
+		ids[ob.ID] = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"objects": len(ids),
+		"points":  points,
 	})
 }
 

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hpm"
+)
+
+// BenchmarkObserveParallel measures durable ingest under concurrent
+// writers, the workload group commit exists for. Three modes:
+//
+//   - sync: fsync-per-acknowledgement (the default). With one writer
+//     every op pays a full fsync; with several, concurrent appends
+//     coalesce into one group write + fsync, so the reported fsyncs/op
+//     drops below 1 and throughput climbs past the fsync rate.
+//   - nosync: no fsyncs — isolates the in-memory path (shard map, WAL
+//     encode, group buffer) from disk latency.
+//   - nosync-1shard: same with a single-shard object table, the
+//     pre-sharding layout; the gap to nosync is shard-lock contention.
+//
+// Writers get distinct ids so the benchmark measures fleet ingest, not
+// one object's ingestMu serialization.
+func BenchmarkObserveParallel(b *testing.B) {
+	maxWriters := runtime.GOMAXPROCS(0)
+	if maxWriters < 4 {
+		// Group commit amortizes fsyncs even on one CPU (the syscall
+		// blocks, releasing the P), so sweep past GOMAXPROCS.
+		maxWriters = 4
+	}
+	modes := []struct {
+		name   string
+		noSync bool
+		shards int
+	}{
+		{"sync", false, 0},
+		{"nosync", true, 0},
+		{"nosync-1shard", true, 1},
+	}
+	pts := walPoints(0, 4)
+	for _, m := range modes {
+		for w := 1; w <= maxWriters; w *= 2 {
+			b.Run(fmt.Sprintf("%s/writers=%d", m.name, w), func(b *testing.B) {
+				s, err := Open(b.TempDir(), Options{
+					Config:          hpm.Config{Period: period},
+					MinTrainPeriods: 1 << 20, // never train: measure ingest alone
+					WALNoSync:       m.noSync,
+					Shards:          m.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				before := s.WALStats()
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for i := 0; i < w; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						id := fmt.Sprintf("writer-%d", i)
+						for next.Add(1) <= int64(b.N) {
+							if err := s.ObserveBatch(id, pts); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(i)
+				}
+				wg.Wait()
+				b.StopTimer()
+				after := s.WALStats()
+				b.ReportMetric(float64(after.Fsyncs-before.Fsyncs)/float64(b.N), "fsyncs/op")
+				b.ReportMetric(float64(after.Batches-before.Batches)/float64(b.N), "batches/op")
+			})
+		}
+	}
+}

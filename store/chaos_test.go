@@ -581,3 +581,109 @@ func TestDurableCloseReopen(t *testing.T) {
 		t.Fatalf("reopened stats: %+v, want %d points trained", st, n)
 	}
 }
+
+// TestChaosGroupCommitCrashNoLoss is the group-commit durability test:
+// many writers in full sync mode, every ObserveBatch fsynced (possibly
+// coalesced into a neighbour's group commit), then a hard crash. Zero
+// acknowledged records may be missing. Sync mode plus >1 writer is
+// exactly where a group-commit bug (acking before the leader's fsync)
+// would lose data.
+func TestChaosGroupCommitCrashNoLoss(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts()
+	opts.WALNoSync = false // the whole point: acks must ride an fsync
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	const perWriter = 60
+	acked := make([]int, writers)
+	done := make(chan struct{}, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			id := fmt.Sprintf("gc-%d", w)
+			for off := 0; off < perWriter; off += 5 {
+				if err := s.ObserveBatch(id, walPoints(off, 5)); err != nil {
+					return
+				}
+				acked[w] = off + 5
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	stats := s.WALStats()
+	if stats.Records == 0 || stats.Fsyncs == 0 {
+		t.Fatalf("sync ingest recorded no WAL activity: %+v", stats)
+	}
+	crash(s)
+
+	back, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	for w := 0; w < writers; w++ {
+		id := fmt.Sprintf("gc-%d", w)
+		st, err := back.Stats(id)
+		if err != nil {
+			t.Fatalf("%s lost entirely: %v", id, err)
+		}
+		if st.Points != acked[w] {
+			t.Errorf("%s: recovered %d points, acknowledged %d", id, st.Points, acked[w])
+		}
+	}
+}
+
+// TestChaosDurableFleetBatchCrash commits fleet batches (ObserveAll:
+// several objects per WAL group write), crashes, and requires every
+// acknowledged batch back in full — a multi-object group record must be
+// all-in after recovery, and per-object order preserved.
+func TestChaosDurableFleetBatchCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 12
+	for r := 0; r < rounds; r++ {
+		batch := []Observation{
+			{ID: "fleet-a", Points: walPoints(r*3, 3)},
+			{ID: "fleet-b", Points: walPoints(100+r*2, 2)},
+			{ID: "fleet-a", Points: walPoints(r*3+100, 1)}, // repeated id, merged
+		}
+		if err := s.ObserveAll(batch); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	crash(s)
+
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	for id, want := range map[string]int{"fleet-a": rounds * 4, "fleet-b": rounds * 2} {
+		st, err := back.Stats(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if st.Points != want {
+			t.Errorf("%s: recovered %d points, acknowledged %d", id, st.Points, want)
+		}
+	}
+	// Order check: fleet-a's merged per-round points landed in batch order.
+	obj, err := back.get("fleet-a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHead := append(walPoints(0, 3), walPoints(100, 1)...)
+	for i, p := range wantHead {
+		if obj.track[i] != p {
+			t.Fatalf("fleet-a point %d = %v, want %v (merge order broken)", i, obj.track[i], p)
+		}
+	}
+}

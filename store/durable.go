@@ -80,12 +80,15 @@ func Open(dir string, opts Options) (*Store, error) {
 // it until the object's next observation — which for a parked vehicle may
 // be never. Failures land in the train-error ring like any other.
 func (s *Store) recoverModels() {
-	s.mu.RLock()
-	objs := make([]*object, 0, len(s.objects))
-	for _, obj := range s.objects {
-		objs = append(objs, obj)
+	var objs []*object
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.objects {
+			objs = append(objs, obj)
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	for _, obj := range objs {
 		obj.mu.Lock()
 		if err := s.maybeUpdate(obj); err != nil {
@@ -123,6 +126,10 @@ func (s *Store) applyReplay(rec walRecord) error {
 	if err != nil {
 		return err
 	}
+	// Replay runs single-threaded before the store is shared, but track
+	// mutation requires both locks by invariant; both are uncontended.
+	obj.ingestMu.Lock()
+	defer obj.ingestMu.Unlock()
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
 	have := len(obj.track)
@@ -241,11 +248,22 @@ func syncDir(dir string) {
 	}
 }
 
-// walAppend logs one acknowledged-to-be batch. Called with obj.mu held so
-// per-object records are ordered like the track itself.
+// walAppend logs one acknowledged-to-be batch. Called with obj.ingestMu
+// held — not obj.mu — so per-object records are ordered like the track
+// itself while queries keep running through the commit and fsync.
 func (s *Store) walAppend(id string, offset int, pts []hpm.Point) error {
 	if err := s.fault(faultinject.OpWALAppend); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	return s.wal.append(id, offset, pts)
+}
+
+// walAppendAll logs a fleet batch as one group commit. Called with every
+// touched object's ingestMu held (sorted order), so the recorded offsets
+// stay valid until the batch is applied.
+func (s *Store) walAppendAll(recs []walRecord) error {
+	if err := s.fault(faultinject.OpWALAppend); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	return s.wal.appendAll(recs)
 }

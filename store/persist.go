@@ -170,9 +170,12 @@ func readObject(br *bufio.Reader, s *Store) error {
 		}
 		obj.predictor = p
 	}
-	s.mu.Lock()
-	s.objects[string(idb)] = obj
-	s.mu.Unlock()
+	// Populate the shard directly: replay and load run before the store
+	// is shared, but take the shard lock anyway to keep the invariant.
+	sh := s.shard(string(idb))
+	sh.mu.Lock()
+	sh.objects[string(idb)] = obj
+	sh.mu.Unlock()
 	return nil
 }
 

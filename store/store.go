@@ -63,13 +63,19 @@ type Options struct {
 	// doubles per attempt up to a 5s cap. Values <= 0 default to
 	// DefaultTrainRetryBackoff.
 	TrainRetryBackoff time.Duration
-	// WALNoSync skips the per-append fsync of a durable store's
+	// WALNoSync skips the per-commit fsync of a durable store's
 	// write-ahead log, trading the zero-acknowledged-loss crash guarantee
 	// for ingest throughput (a crash may lose records the OS had not yet
 	// flushed; replay still recovers everything older). Open applies this
 	// field from its opts argument even when the rest of the Options come
 	// from a restored snapshot — sync policy belongs to the process.
 	WALNoSync bool
+	// Shards is how many independently locked sub-maps the object table
+	// is split across, rounded up to a power of two. Observes and queries
+	// on objects in different shards never contend on a map lock. Values
+	// <= 0 default to DefaultShards; 1 yields the old single-lock map
+	// (useful as a benchmark baseline).
+	Shards int
 }
 
 // Defaults for Options fields left at their zero value.
@@ -78,7 +84,12 @@ const (
 	DefaultMaxRecent         = 10
 	DefaultTrainMaxRetries   = 3
 	DefaultTrainRetryBackoff = 100 * time.Millisecond
+	DefaultShards            = 64
 )
+
+// maxShards bounds Options.Shards against absurd configurations (each
+// shard costs a map and a lock, held in memory for the store's life).
+const maxShards = 1 << 16
 
 // maxTrainBackoff caps the exponential train-retry backoff.
 const maxTrainBackoff = 5 * time.Second
@@ -106,6 +117,18 @@ func (o Options) withDefaults() Options {
 	if o.TrainRetryBackoff <= 0 {
 		o.TrainRetryBackoff = DefaultTrainRetryBackoff
 	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	o.Shards = n
 	o.Config.SubTrajectories = 0
 	return o
 }
@@ -134,8 +157,13 @@ var ErrInvalidPoint = errors.New("store: non-finite coordinate")
 type Store struct {
 	opts Options
 
-	mu      sync.RWMutex
-	objects map[string]*object
+	// The object table is sharded: FNV-1a over the id picks one of
+	// Options.Shards (power of two) sub-maps, each with its own RWMutex,
+	// so lookups and inserts for distinct objects never contend on a
+	// single lock. Fleet-wide walks (Objects, Save, Health, recovery)
+	// visit shards one at a time in index order.
+	shards    []shard
+	shardMask uint32
 
 	// Background-training machinery. pending counts scheduled trains not
 	// yet swapped in; trainCond broadcasts when it reaches zero; trainSem
@@ -172,11 +200,25 @@ type Store struct {
 	beforeTrain func()
 }
 
+// shard is one slice of the object table: a sub-map under its own lock.
+type shard struct {
+	mu      sync.RWMutex
+	objects map[string]*object
+}
+
 // object is one tracked object's state. mu is a read-write lock: queries
 // (Predict, PredictRange, PredictBatch, Now, Stats) share a read lock —
 // the predictor's query path is lock-free internally, so any number run in
 // parallel — while Observe, model swaps and Extends take the write lock.
+//
+// Writers additionally serialize on ingestMu, held across the whole
+// observe — offset capture, WAL group commit, track apply — so per-object
+// WAL records stay ordered like the track. mu itself is only taken for
+// the in-memory apply: a slow fsync stalls at most that object's other
+// writers, never its readers. Lock order is always ingestMu before mu;
+// mutating track requires both, reading it requires either.
 type object struct {
+	ingestMu  sync.Mutex
 	mu        sync.RWMutex
 	track     []hpm.Point
 	predictor *hpm.Predictor
@@ -203,7 +245,12 @@ func New(opts Options) (*Store, error) {
 	if opts.Config.Period <= 0 {
 		return nil, errors.New("store: Options.Config.Period must be positive")
 	}
-	s := &Store{opts: opts.withDefaults(), objects: map[string]*object{}}
+	s := &Store{opts: opts.withDefaults()}
+	s.shards = make([]shard, s.opts.Shards)
+	s.shardMask = uint32(s.opts.Shards - 1)
+	for i := range s.shards {
+		s.shards[i].objects = map[string]*object{}
+	}
 	s.trainCond = sync.NewCond(&s.trainMu)
 	s.trainSem = make(chan struct{}, s.opts.TrainWorkers)
 	return s, nil
@@ -212,22 +259,34 @@ func New(opts Options) (*Store, error) {
 // Period returns the configured pattern period.
 func (s *Store) Period() int { return s.opts.Config.Period }
 
+// shard picks the object's shard by FNV-1a over its id. Inlined rather
+// than hash/fnv to keep the hot ingest path free of a hasher allocation.
+func (s *Store) shard(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &s.shards[h&s.shardMask]
+}
+
 // get returns the object's state, creating it when create is set.
 func (s *Store) get(id string, create bool) (*object, error) {
-	s.mu.RLock()
-	obj := s.objects[id]
-	s.mu.RUnlock()
+	sh := s.shard(id)
+	sh.mu.RLock()
+	obj := sh.objects[id]
+	sh.mu.RUnlock()
 	if obj != nil {
 		return obj, nil
 	}
 	if !create {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, id)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if obj = s.objects[id]; obj == nil {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if obj = sh.objects[id]; obj == nil {
 		obj = &object{}
-		s.objects[id] = obj
+		sh.objects[id] = obj
 	}
 	return obj, nil
 }
@@ -245,7 +304,9 @@ func (s *Store) Observe(id string, loc hpm.Point) error {
 // coordinates are rejected with ErrInvalidPoint before anything is
 // recorded. On a durable store the batch is written to the WAL (and, in
 // sync mode, fsynced) before this method returns nil: a nil return means
-// the observations survive a crash.
+// the observations survive a crash. The WAL commit runs outside the
+// object's read-write lock — concurrent writers ride the same group
+// commit, and queries against the object proceed during the fsync.
 func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 	if len(locs) == 0 {
 		return nil
@@ -259,15 +320,111 @@ func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 	if err != nil {
 		return err
 	}
-	obj.mu.Lock()
-	defer obj.mu.Unlock()
+	obj.ingestMu.Lock()
+	defer obj.ingestMu.Unlock()
 	if s.wal != nil {
+		// Track mutation requires ingestMu, so the offset read is stable
+		// without obj.mu and stays the track length until we apply below.
 		if err := s.walAppend(id, len(obj.track), locs); err != nil {
 			return err // not acknowledged: the track is untouched
 		}
 	}
+	obj.mu.Lock()
+	defer obj.mu.Unlock()
 	obj.track = append(obj.track, locs...)
 	return s.maybeUpdate(obj)
+}
+
+// Observation is one object's consecutive locations within a fleet batch.
+type Observation struct {
+	ID     string
+	Points []hpm.Point
+}
+
+// ObserveAll ingests observations for many objects in one call. On a
+// durable store the whole batch is staged into a single WAL group commit —
+// one write, one fsync, no matter how many objects it spans — and a nil
+// return means every observation is on disk (in sync mode). Repeated ids
+// are merged in order. Model-update errors (synchronous training) are
+// joined and returned after every point has been applied; the points
+// themselves are durable and acknowledged even then.
+func (s *Store) ObserveAll(batch []Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	for _, ob := range batch {
+		for _, p := range ob.Points {
+			if !isFinite(p) {
+				return fmt.Errorf("%w: %q (%v, %v)", ErrInvalidPoint, ob.ID, p.X, p.Y)
+			}
+		}
+	}
+	// Merge repeated ids, keeping each object's points in argument order.
+	index := make(map[string]int, len(batch))
+	groups := make([]fleetGroup, 0, len(batch))
+	for _, ob := range batch {
+		if len(ob.Points) == 0 {
+			continue
+		}
+		if i, ok := index[ob.ID]; ok {
+			g := &groups[i]
+			if !g.owned {
+				// Copy before extending: the first slice still aliases the
+				// caller's backing array.
+				g.pts = append(make([]hpm.Point, 0, len(g.pts)+len(ob.Points)), g.pts...)
+				g.owned = true
+			}
+			g.pts = append(g.pts, ob.Points...)
+			continue
+		}
+		index[ob.ID] = len(groups)
+		groups = append(groups, fleetGroup{id: ob.ID, pts: ob.Points})
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	// Lock the objects' ingest mutexes in sorted-id order: concurrent
+	// fleet batches acquire in the same order, so they cannot deadlock
+	// (single-object observers hold at most one).
+	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
+	for i := range groups {
+		obj, err := s.get(groups[i].id, true)
+		if err != nil {
+			return err
+		}
+		groups[i].obj = obj
+	}
+	for i := range groups {
+		groups[i].obj.ingestMu.Lock()
+		defer groups[i].obj.ingestMu.Unlock()
+	}
+	if s.wal != nil {
+		recs := make([]walRecord, len(groups))
+		for i, g := range groups {
+			recs[i] = walRecord{id: g.id, offset: len(g.obj.track), pts: g.pts}
+		}
+		if err := s.walAppendAll(recs); err != nil {
+			return err // nothing acknowledged: no track was touched
+		}
+	}
+	var errs []error
+	for _, g := range groups {
+		g.obj.mu.Lock()
+		g.obj.track = append(g.obj.track, g.pts...)
+		if err := s.maybeUpdate(g.obj); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", g.id, err))
+		}
+		g.obj.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// fleetGroup is one object's slice of an ObserveAll batch.
+type fleetGroup struct {
+	id    string
+	pts   []hpm.Point
+	obj   *object
+	owned bool // pts is our own copy, safe to append to
 }
 
 func isFinite(p hpm.Point) bool {
@@ -679,9 +836,13 @@ type Health struct {
 // Health reports the store's current health without draining the train
 // error ring.
 func (s *Store) Health() Health {
-	s.mu.RLock()
-	n := len(s.objects)
-	s.mu.RUnlock()
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
 	s.trainMu.Lock()
 	defer s.trainMu.Unlock()
 	h := Health{
@@ -699,13 +860,18 @@ func (s *Store) Health() Health {
 	return h
 }
 
-// Objects lists all tracked ids, sorted.
+// Objects lists all tracked ids, sorted. Shards are visited one at a
+// time in index order; ids added or removed mid-walk may or may not
+// appear, like any concurrent map listing.
 func (s *Store) Objects() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := make([]string, 0, len(s.objects))
-	for id := range s.objects {
-		ids = append(ids, id)
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.objects {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	return ids
@@ -713,9 +879,31 @@ func (s *Store) Objects() []string {
 
 // Remove forgets an object entirely.
 func (s *Store) Remove(id string) {
-	s.mu.Lock()
-	delete(s.objects, id)
-	s.mu.Unlock()
+	sh := s.shard(id)
+	sh.mu.Lock()
+	delete(sh.objects, id)
+	sh.mu.Unlock()
+}
+
+// WALStats summarizes the write-ahead log's commit activity since Open:
+// how many observation records were appended, how many group commits
+// (file writes) carried them, and how many fsyncs were issued. On a
+// non-durable store every field is zero. Batches < Records means group
+// commit is coalescing concurrent writers; Fsyncs/Records is the
+// per-observation fsync cost the batching amortizes.
+type WALStats struct {
+	Records uint64 `json:"records"`
+	Batches uint64 `json:"batches"`
+	Fsyncs  uint64 `json:"fsyncs"`
+}
+
+// WALStats reports the durable ingest counters; zero on in-memory stores.
+func (s *Store) WALStats() WALStats {
+	if s.wal == nil {
+		return WALStats{}
+	}
+	r, b, f := s.wal.stats()
+	return WALStats{Records: r, Batches: b, Fsyncs: f}
 }
 
 // Predictor returns the object's current predictor for advanced use

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hpm"
 )
@@ -19,6 +20,15 @@ import (
 // appends one record — object id, track offset, points — to the current
 // WAL segment before the observation is acknowledged, so a crash between
 // snapshots loses nothing that a client was told succeeded.
+//
+// Appends are group-committed: concurrent appenders stage their encoded
+// records into a shared batch, one of them (the leader) writes the whole
+// batch with a single file write and a single fsync, and every waiter is
+// released once the batch is durable. The acknowledgment guarantee is
+// unchanged — append returns nil only after its record's batch hit disk
+// (in sync mode) — but the fsync cost is amortized across every writer
+// that joined the batch, so durable ingest throughput grows with writer
+// concurrency instead of serializing on one fsync per record.
 //
 // Record layout (all integers little-endian):
 //
@@ -51,17 +61,36 @@ const (
 
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
+// walBatch is one group commit: the concatenated records staged by every
+// appender that joined it, the barrier they block on, and the outcome of
+// the flush that made (or failed to make) them durable.
+type walBatch struct {
+	buf  []byte
+	done chan struct{} // closed by the leader after the flush
+	err  error         // written before done is closed
+}
+
 // wal is the store's write-ahead log handle: one open segment plus the
 // frozen segments awaiting the next checkpoint.
 type wal struct {
 	dir  string
-	sync bool // fsync after every append
+	sync bool // fsync once per group commit
 
-	mu     sync.Mutex
-	f      *os.File
-	seq    uint64
-	frozen []string // closed segments, oldest first, reclaimed at checkpoint
-	buf    []byte   // append scratch, reused across records
+	mu      sync.Mutex
+	flushed *sync.Cond // broadcast when writing flips false
+	f       *os.File
+	seq     uint64
+	frozen  []string  // closed segments, oldest first, reclaimed at checkpoint
+	cur     *walBatch // batch accepting stagers; nil when none staged
+	writing bool      // a leader is flushing; stagers become followers
+	spare   []byte    // recycled batch buffer, so steady state allocates nothing
+	scratch []byte    // payload encode scratch, used under mu
+
+	// Commit accounting, read by benchmarks and Store.WALStats: records
+	// staged, group commits written (one file write each), fsyncs issued.
+	records atomic.Uint64
+	batches atomic.Uint64
+	fsyncs  atomic.Uint64
 }
 
 // openWAL scans dir for existing segments (they become frozen — replayed
@@ -74,6 +103,7 @@ func openWAL(dir string, syncEach bool) (*wal, error) {
 		return nil, err
 	}
 	w := &wal{dir: dir, sync: syncEach, frozen: frozen, seq: last}
+	w.flushed = sync.NewCond(&w.mu)
 	if err := w.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -121,17 +151,54 @@ func (w *wal) openSegmentLocked() error {
 	return nil
 }
 
-// append writes one record and, in sync mode, fsyncs before returning, so
-// the caller may acknowledge the observation.
+// append stages one record into the current group commit and blocks until
+// that batch is durable (written, and in sync mode fsynced), so the caller
+// may acknowledge the observation.
 func (w *wal) append(id string, offset int, pts []hpm.Point) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.f == nil {
+		w.mu.Unlock()
 		return errors.New("store: wal closed")
+	}
+	b := w.stageLocked(id, offset, pts)
+	return w.commit(b)
+}
+
+// appendAll stages every record into one group commit and blocks until the
+// whole batch is durable: a fleet-wide observation joins a single fsync no
+// matter how many objects it touches. Records land in the segment in
+// argument order, matching the per-object track order the caller staged.
+func (w *wal) appendAll(recs []walRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return errors.New("store: wal closed")
+	}
+	var b *walBatch
+	for _, r := range recs {
+		b = w.stageLocked(r.id, r.offset, r.pts)
+	}
+	return w.commit(b)
+}
+
+// stageLocked encodes one record — length prefix, payload, CRC — straight
+// into the current batch's buffer, creating the batch when this is its
+// first record. Both the batch buffer and the payload scratch are reused
+// across commits, so steady-state staging allocates nothing per record.
+// Caller holds w.mu.
+func (w *wal) stageLocked(id string, offset int, pts []hpm.Point) *walBatch {
+	b := w.cur
+	if b == nil {
+		b = &walBatch{buf: w.spare[:0], done: make(chan struct{})}
+		w.spare = nil
+		w.cur = b
 	}
 	var u [binary.MaxVarintLen64]byte
 	// Payload first, so its length can prefix it.
-	p := w.buf[:0]
+	p := w.scratch[:0]
 	p = append(p, u[:binary.PutUvarint(u[:], uint64(len(id)))]...)
 	p = append(p, id...)
 	p = append(p, u[:binary.PutUvarint(u[:], uint64(offset))]...)
@@ -140,21 +207,78 @@ func (w *wal) append(id string, offset int, pts []hpm.Point) error {
 		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(pt.X))
 		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(pt.Y))
 	}
-	rec := make([]byte, 0, len(p)+binary.MaxVarintLen64+4)
-	rec = append(rec, u[:binary.PutUvarint(u[:], uint64(len(p)))]...)
-	rec = append(rec, p...)
-	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(p, walCRC))
-	w.buf = p // keep the larger scratch for reuse
+	w.scratch = p
+	b.buf = append(b.buf, u[:binary.PutUvarint(u[:], uint64(len(p)))]...)
+	b.buf = append(b.buf, p...)
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, crc32.Checksum(p, walCRC))
+	w.records.Add(1)
+	return b
+}
 
-	if _, err := w.f.Write(rec); err != nil {
+// commit makes b durable and returns its outcome. Called with w.mu held;
+// releases it. If no leader is flushing, the caller becomes leader: it
+// writes and fsyncs the batch, releases the batch's waiters, and keeps
+// draining batches staged by followers while it was writing (those
+// followers are parked on their batch's barrier and cannot elect
+// themselves). Otherwise the caller is a follower and blocks until the
+// leader flushes the batch it staged into.
+func (w *wal) commit(b *walBatch) error {
+	if w.writing {
+		w.mu.Unlock()
+		<-b.done
+		return b.err
+	}
+	w.writing = true
+	for w.cur != nil {
+		cur := w.cur
+		w.cur = nil
+		f := w.f
+		w.mu.Unlock()
+		cur.err = w.flush(f, cur.buf)
+		close(cur.done)
+		w.mu.Lock()
+		if w.spare == nil {
+			w.spare = cur.buf[:0] // recycle for the next batch
+		}
+	}
+	w.writing = false
+	w.flushed.Broadcast()
+	w.mu.Unlock()
+	// The leader's own batch was the first one drained; err is stable
+	// once done is closed.
+	return b.err
+}
+
+// flush writes one batch and, in sync mode, fsyncs it. Runs without w.mu:
+// rotate and close wait for writing to clear, so f stays valid.
+func (w *wal) flush(f *os.File, buf []byte) error {
+	w.batches.Add(1)
+	if _, err := f.Write(buf); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		w.fsyncs.Add(1)
+		if err := f.Sync(); err != nil {
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
 	}
 	return nil
+}
+
+// quiesceLocked blocks until no leader is flushing. Batches cannot be
+// staged without immediately electing or joining a leader under the same
+// mu hold, so once writing clears nothing is staged either. Caller holds
+// w.mu.
+func (w *wal) quiesceLocked() {
+	for w.writing {
+		w.flushed.Wait()
+	}
+}
+
+// stats returns the append/commit counters: records staged, group commits
+// written, fsyncs issued.
+func (w *wal) stats() (records, batches, fsyncs uint64) {
+	return w.records.Load(), w.batches.Load(), w.fsyncs.Load()
 }
 
 // rotate freezes the current segment and opens the next one, returning
@@ -163,6 +287,7 @@ func (w *wal) append(id string, offset int, pts []hpm.Point) error {
 func (w *wal) rotate() ([]string, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked() // group writes never straddle a segment boundary
 	if w.f == nil {
 		return nil, errors.New("store: wal closed")
 	}
@@ -204,6 +329,7 @@ func (w *wal) reclaim(paths []string) {
 func (w *wal) close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked() // let an in-flight group commit finish cleanly
 	if w.f == nil {
 		return nil
 	}
