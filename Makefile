@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query bench-ingest chaos
+.PHONY: build test race vet bench bench-query bench-ingest bench-eval chaos
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,12 @@ test:
 # the HTTP service, the fault-injection helpers, and the parallel
 # training pipeline.
 race:
-	$(GO) test -race ./internal/hpa/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
+	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
 
 # Crash-safety suite under the race detector: kill/restart recovery, torn
 # WAL tails, injected WAL/snapshot/train faults, snapshot robustness.
 chaos:
-	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard' -count=1 ./store/... ./internal/faultinject/...
+	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard|Remove' -count=1 ./store/... ./internal/faultinject/...
 
 vet:
 	$(GO) vet ./...
@@ -40,3 +40,9 @@ bench-query:
 #   go run ./cmd/hpmbench -experiment ingest -json
 bench-ingest:
 	$(GO) test -bench='BenchmarkObserveParallel' -benchmem -run '^$$' ./store/
+
+# Online prequential accuracy: test-then-train replay of each dataset
+# through a live store, hybrid pattern paths vs motion fallback per
+# horizon. Regenerates BENCH_eval.json.
+bench-eval:
+	$(GO) run ./cmd/hpmbench -experiment eval -json

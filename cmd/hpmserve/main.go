@@ -10,6 +10,7 @@
 //	curl 'localhost:8080/objects/bus-7/predict?horizon=30&k=3'
 //	curl 'localhost:8080/objects/bus-7/trajectory?from=900&to=950'
 //	curl  localhost:8080/objects
+//	curl  localhost:8080/metrics
 //	curl  localhost:8080/readyz
 //
 // With -data-dir, the store is durable: every acknowledged observation is
@@ -60,6 +61,11 @@ func main() {
 		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown only)")
 		walSync  = flag.Bool("wal-sync", true, "fsync the WAL on every observe; disable to trade crash durability for ingest throughput")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
+		evalOff  = flag.Bool("eval-off", false, "disable online prediction-quality evaluation (/metrics eval series stay zero)")
+		evalHit  = flag.Float64("eval-hit-distance", 0, "distance within which a scored prediction counts as a hit (0 = default 30)")
+		evalRing = flag.Int("eval-ring", 0, "outstanding predictions kept per object awaiting truth (0 = default 64)")
+		drift    = flag.Float64("drift-threshold", 0, "mean-error EWMA above which an early retrain fires (0 = drift retraining off)")
+		adaptive = flag.Bool("adaptive-routing", false, "answer via motion fallback when it measurably beats the pattern path at a horizon")
 	)
 	flag.Parse()
 
@@ -78,7 +84,12 @@ func main() {
 		MinTrainPeriods: *minDays,
 		RetrainEvery:    *retrain,
 		WALNoSync:       !*walSync,
+		EvalDisabled:    *evalOff,
+		DriftThreshold:  *drift,
+		AdaptiveRouting: *adaptive,
 	}
+	opts.Eval.HitDistance = *evalHit
+	opts.Eval.RingSize = *evalRing
 	st, err := openStore(*dataDir, *snapshot, opts)
 	if err != nil {
 		log.Fatal(err)

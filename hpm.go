@@ -86,6 +86,17 @@ const (
 	SourceMotion  = hpa.SourceMotion
 )
 
+// Path tells which branch of the hybrid algorithm answered a query: FQP
+// for near queries, BQP for distant ones, or the motion-function fallback.
+type Path = hpa.Path
+
+// Answering paths.
+const (
+	PathForward  = hpa.PathForward
+	PathBackward = hpa.PathBackward
+	PathFallback = hpa.PathFallback
+)
+
 // WeightFunc selects the premise-similarity weight function of §VI-A.
 type WeightFunc = hpa.WeightFunc
 
@@ -267,6 +278,20 @@ func (p *Predictor) PredictRange(recent []TimedPoint, from, to int) ([]Predictio
 // use alongside other queries.
 func (p *Predictor) PredictBatch(recent []TimedPoint, tqs []int, k int) ([][]Prediction, error) {
 	return p.model.PredictBatch(recent, tqs, k)
+}
+
+// PredictFallback answers a query with the motion-function fallback alone,
+// bypassing the pattern paths — the baseline the paper's accuracy figures
+// compare against, exposed so callers can shadow-score the RMF online.
+func (p *Predictor) PredictFallback(recent []TimedPoint, tq int) ([]Prediction, error) {
+	return p.model.PredictFallback(recent, tq)
+}
+
+// IsDistant reports whether a query at time tq, issued when the object's
+// current time is tc, dispatches to Backward Query Processing
+// (Definition 2: tq - tc >= the distant-time threshold d).
+func (p *Predictor) IsDistant(tc, tq int) bool {
+	return p.model.Engine().IsDistant(tc, tq)
 }
 
 // Save serializes the trained predictor to a versioned binary stream:

@@ -348,6 +348,12 @@ func (m *Model) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) (
 	return m.engine.PredictBatch(recent, tqs, k)
 }
 
+// PredictFallback answers a query with the motion-function fallback alone,
+// bypassing the pattern paths. See hpa.Engine.FallbackQuery.
+func (m *Model) PredictFallback(recent []trajectory.TimedPoint, tq int) ([]hpa.Prediction, error) {
+	return m.engine.FallbackQuery(hpa.Query{Recent: recent, Tq: tq})
+}
+
 // NumRegions returns the number of frequent regions discovered.
 func (m *Model) NumRegions() int { return m.regions.Len() }
 

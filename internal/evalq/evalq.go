@@ -1,0 +1,375 @@
+// Package evalq implements online, prequential evaluation of predictive
+// queries (test-then-train): every served prediction is parked in a
+// bounded per-object ring until the observation for its query timestamp
+// arrives, at which point the prediction is scored against the truth —
+// a hit when it lands within a distance threshold D, plus the raw error
+// distance — into per-horizon-bucket × per-answering-path counters.
+//
+// The paper's central claim (§VI–§VII) is that the pattern paths (FQP
+// for near queries, BQP for distant ones) beat the motion-function
+// fallback as the query horizon grows. These counters reproduce that
+// accuracy-vs-horizon comparison *online*, on live traffic, instead of
+// in an offline benchmark: each cell of the horizon × path matrix is
+// one point of the paper's Figure 5 curves, measured prequentially.
+//
+// An exponentially weighted moving average of recent error per object
+// doubles as a drift detector (NLPMM's observation that movement
+// patterns go stale): the store retrains an object early when its EWMA
+// crosses a threshold, and an adaptive mode can route queries to the
+// fallback when a pattern path's measured accuracy drops below it.
+package evalq
+
+import (
+	"fmt"
+	"sync"
+
+	"hpm/internal/geom"
+)
+
+// Path identifies which query processor produced a scored prediction.
+type Path uint8
+
+// The answering paths. The order matches hpa's dispatch: forward (FQP)
+// for near queries, backward (BQP) for distant ones, the motion-function
+// fallback when no pattern qualifies.
+const (
+	PathForward Path = iota
+	PathBackward
+	PathFallback
+	NumPaths // number of paths, for sizing cell matrices
+)
+
+// String returns the path's metric label.
+func (p Path) String() string {
+	switch p {
+	case PathForward:
+		return "forward"
+	case PathBackward:
+		return "backward"
+	default:
+		return "fallback"
+	}
+}
+
+// Defaults for Config fields left at their zero value.
+const (
+	DefaultRingSize    = 64
+	DefaultHitDistance = 30 // the paper's Eps: within one region radius
+	DefaultEWMAAlpha   = 0.1
+)
+
+// DefaultBuckets are the horizon bucket upper bounds, chosen to straddle
+// the paper's default distant-time threshold d = 60 so FQP and BQP land
+// in disjoint buckets.
+var DefaultBuckets = []int{5, 10, 20, 50, 100, 200}
+
+// Config tunes a Tracker. The zero value takes every default.
+type Config struct {
+	// RingSize bounds the outstanding (not yet scored) predictions kept
+	// per object; the oldest is evicted when a new one would overflow.
+	RingSize int
+	// HitDistance is D: a prediction within this distance of the true
+	// location counts as a hit.
+	HitDistance float64
+	// Buckets are the horizon bucket upper bounds, ascending; a horizon h
+	// lands in the first bucket with h <= bound, or the implicit +Inf
+	// overflow bucket past the last.
+	Buckets []int
+	// EWMAAlpha is the smoothing factor of the recent-error EWMA.
+	EWMAAlpha float64
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (c Config) WithDefaults() Config {
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.HitDistance <= 0 {
+		c.HitDistance = DefaultHitDistance
+	}
+	if len(c.Buckets) == 0 {
+		c.Buckets = DefaultBuckets
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = DefaultEWMAAlpha
+	}
+	return c
+}
+
+// NumBuckets counts the horizon buckets including the +Inf overflow.
+func (c Config) NumBuckets() int { return len(c.Buckets) + 1 }
+
+// Bucket maps a query horizon to its bucket index.
+func (c Config) Bucket(horizon int) int {
+	for i, b := range c.Buckets {
+		if horizon <= b {
+			return i
+		}
+	}
+	return len(c.Buckets)
+}
+
+// BucketLabel returns the bucket's upper bound as a label ("+Inf" for
+// the overflow bucket), Prometheus le-style.
+func (c Config) BucketLabel(i int) string {
+	if i >= len(c.Buckets) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", c.Buckets[i])
+}
+
+// Cell is one horizon-bucket × path accumulator.
+type Cell struct {
+	Attempts uint64  // predictions scored
+	Hits     uint64  // scored within HitDistance of the truth
+	ErrorSum float64 // total error distance, for mean error
+}
+
+// pending is one outstanding prediction awaiting its ground truth.
+type pending struct {
+	tq     int // absolute query timestamp
+	bucket int // horizon bucket, fixed at record time
+	path   Path
+	loc    geom.Point
+}
+
+// Tracker scores one object's predictions. All methods are safe for
+// concurrent use; the internal mutex is held only for ring and counter
+// updates, never across model work.
+type Tracker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ring  []pending // capacity cfg.RingSize, FIFO from start
+	start int
+	count int
+	cells []Cell // NumBuckets × NumPaths, bucket-major
+
+	ewma       float64
+	ewmaSet    bool
+	sinceReset int // predictions scored since the EWMA last reset
+
+	recorded uint64 // predictions accepted into the ring
+	scored   uint64 // predictions matched against ground truth
+	expired  uint64 // ring entries whose timestamp passed unobserved
+	evicted  uint64 // ring entries dropped to make room
+}
+
+// New returns a tracker with cfg (zero fields defaulted).
+func New(cfg Config) *Tracker {
+	cfg = cfg.WithDefaults()
+	return &Tracker{
+		cfg:   cfg,
+		ring:  make([]pending, cfg.RingSize),
+		cells: make([]Cell, cfg.NumBuckets()*int(NumPaths)),
+	}
+}
+
+// Config returns the tracker's normalized configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Record parks a served prediction for timestamp tq, made when the
+// object's latest observation was now. Predictions at or before now are
+// ignored (there is no future truth to wait for). When the ring is full
+// the oldest outstanding prediction is evicted.
+func (t *Tracker) Record(now, tq int, path Path, loc geom.Point) {
+	if tq <= now {
+		return
+	}
+	b := t.cfg.Bucket(tq - now)
+	t.mu.Lock()
+	if t.count == len(t.ring) {
+		t.start = (t.start + 1) % len(t.ring)
+		t.count--
+		t.evicted++
+	}
+	t.ring[(t.start+t.count)%len(t.ring)] = pending{tq: tq, bucket: b, path: path, loc: loc}
+	t.count++
+	t.recorded++
+	t.mu.Unlock()
+}
+
+// Observe scores the outstanding predictions matured by consecutive
+// ground-truth observations: pts[i] is the object's true location at
+// timestamp base+i. Predictions whose timestamp falls inside the batch
+// are scored; ones whose timestamp is already past (which a gap in the
+// timestamp sequence could leave behind) are expired. Returns how many
+// predictions were scored, the post-scoring error EWMA, and how many
+// predictions have been scored since the EWMA was last reset.
+func (t *Tracker) Observe(base int, pts []geom.Point) (scored int, ewma float64, sinceReset int) {
+	if len(pts) == 0 {
+		return 0, 0, 0
+	}
+	last := base + len(pts) - 1
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 {
+		return 0, t.ewma, t.sinceReset // fast path: nothing outstanding
+	}
+	// Compact the ring in place: score entries the batch covers, expire
+	// ones behind it, keep the rest.
+	kept := 0
+	for i := 0; i < t.count; i++ {
+		p := t.ring[(t.start+i)%len(t.ring)]
+		switch {
+		case p.tq > last: // still in the future
+			t.ring[(t.start+kept)%len(t.ring)] = p
+			kept++
+		case p.tq < base:
+			t.expired++
+		default:
+			err := p.loc.Dist(pts[p.tq-base])
+			cell := &t.cells[p.bucket*int(NumPaths)+int(p.path)]
+			cell.Attempts++
+			cell.ErrorSum += err
+			if err <= t.cfg.HitDistance {
+				cell.Hits++
+			}
+			if t.ewmaSet {
+				t.ewma += t.cfg.EWMAAlpha * (err - t.ewma)
+			} else {
+				t.ewma, t.ewmaSet = err, true
+			}
+			t.sinceReset++
+			t.scored++
+			scored++
+		}
+	}
+	t.count = kept
+	return scored, t.ewma, t.sinceReset
+}
+
+// ResetEWMA clears the drift signal — called after a drift-triggered
+// retrain so the stale model's errors do not immediately re-trigger.
+func (t *Tracker) ResetEWMA() {
+	t.mu.Lock()
+	t.ewma, t.ewmaSet, t.sinceReset = 0, false, 0
+	t.mu.Unlock()
+}
+
+// PreferFallback reports whether measured accuracy says the motion
+// fallback should answer a query at this horizon instead of pattern
+// path p: both cells must hold at least minSamples scored predictions,
+// and the pattern path must trail the fallback on hit rate (mean error
+// breaks ties, so the signal still works when D makes hits rare).
+func (t *Tracker) PreferFallback(horizon int, p Path, minSamples uint64) bool {
+	if p == PathFallback {
+		return false
+	}
+	b := t.cfg.Bucket(horizon)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pat := t.cells[b*int(NumPaths)+int(p)]
+	fb := t.cells[b*int(NumPaths)+int(PathFallback)]
+	if pat.Attempts < minSamples || fb.Attempts < minSamples {
+		return false
+	}
+	patRate := float64(pat.Hits) / float64(pat.Attempts)
+	fbRate := float64(fb.Hits) / float64(fb.Attempts)
+	if patRate != fbRate {
+		return patRate < fbRate
+	}
+	return pat.ErrorSum/float64(pat.Attempts) > fb.ErrorSum/float64(fb.Attempts)
+}
+
+// Totals are a tracker's scalar counters.
+type Totals struct {
+	Outstanding int    `json:"outstanding"`
+	Recorded    uint64 `json:"recorded"`
+	Scored      uint64 `json:"scored"`
+	Expired     uint64 `json:"expired"`
+	Evicted     uint64 `json:"evicted"`
+}
+
+// Agg accumulates counters across many trackers sharing one Config —
+// the store's fleet-level view.
+type Agg struct {
+	Totals
+	Cells []Cell // NumBuckets × NumPaths, bucket-major; nil until first merge
+}
+
+// MergeInto adds the tracker's counters to a.
+func (t *Tracker) MergeInto(a *Agg) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a.Cells == nil {
+		a.Cells = make([]Cell, len(t.cells))
+	}
+	for i, c := range t.cells {
+		a.Cells[i].Attempts += c.Attempts
+		a.Cells[i].Hits += c.Hits
+		a.Cells[i].ErrorSum += c.ErrorSum
+	}
+	a.Outstanding += t.count
+	a.Recorded += t.recorded
+	a.Scored += t.scored
+	a.Expired += t.expired
+	a.Evicted += t.evicted
+}
+
+// CellSnapshot is one horizon × path cell with its labels and derived
+// rates, ready for JSON or a metrics exporter.
+type CellSnapshot struct {
+	HorizonLE string  `json:"horizonLE"` // bucket upper bound, "+Inf" for overflow
+	Path      string  `json:"path"`
+	Attempts  uint64  `json:"attempts"`
+	Hits      uint64  `json:"hits"`
+	HitRate   float64 `json:"hitRate"`
+	MeanError float64 `json:"meanError"`
+	ErrorSum  float64 `json:"errorSum"`
+}
+
+// Summary is a complete evaluation snapshot: totals, the drift signal,
+// and every horizon × path cell (zero cells included, so scrapes see a
+// stable series set).
+type Summary struct {
+	Totals
+	ErrorEWMA float64        `json:"errorEWMA"`
+	Cells     []CellSnapshot `json:"cells"`
+}
+
+// Summarize renders an aggregate under its shared config.
+func Summarize(cfg Config, a Agg) Summary {
+	cfg = cfg.WithDefaults()
+	s := Summary{Totals: a.Totals}
+	s.Cells = snapshotCells(cfg, a.Cells)
+	return s
+}
+
+// Snapshot returns the tracker's own summary.
+func (t *Tracker) Snapshot() Summary {
+	t.mu.Lock()
+	cells := append([]Cell(nil), t.cells...)
+	s := Summary{
+		Totals: Totals{
+			Outstanding: t.count,
+			Recorded:    t.recorded,
+			Scored:      t.scored,
+			Expired:     t.expired,
+			Evicted:     t.evicted,
+		},
+		ErrorEWMA: t.ewma,
+	}
+	t.mu.Unlock()
+	s.Cells = snapshotCells(t.cfg, cells)
+	return s
+}
+
+func snapshotCells(cfg Config, cells []Cell) []CellSnapshot {
+	out := make([]CellSnapshot, 0, cfg.NumBuckets()*int(NumPaths))
+	for b := 0; b < cfg.NumBuckets(); b++ {
+		for p := Path(0); p < NumPaths; p++ {
+			cs := CellSnapshot{HorizonLE: cfg.BucketLabel(b), Path: p.String()}
+			if cells != nil {
+				c := cells[b*int(NumPaths)+int(p)]
+				cs.Attempts, cs.Hits, cs.ErrorSum = c.Attempts, c.Hits, c.ErrorSum
+				if c.Attempts > 0 {
+					cs.HitRate = float64(c.Hits) / float64(c.Attempts)
+					cs.MeanError = c.ErrorSum / float64(c.Attempts)
+				}
+			}
+			out = append(out, cs)
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
 		"pruning", "weights", "fallback", "bqp-penalty", "trelax", "tpt-chooseleaf",
+		"eval",
 	}
 	names := Names()
 	have := map[string]bool{}
@@ -199,6 +200,31 @@ func TestAblationsQuick(t *testing.T) {
 		for _, f := range mustRun(t, name) {
 			checkFigure(t, f)
 		}
+	}
+}
+
+func TestEvalQuickShape(t *testing.T) {
+	figs := mustRun(t, "eval")
+	if len(figs)%2 != 0 {
+		t.Fatalf("eval returned %d figures, want hit+error pairs", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// Bike (strong patterns): at the longest, distant horizon the pattern
+	// paths must beat the motion fallback on both online measures — the
+	// prequential counters reproduce the paper's offline ordering.
+	hit, errFig := figs[0], figs[1]
+	hpmHit, rmfHit := hit.Series[0], hit.Series[1]
+	last := len(hpmHit.Y) - 1
+	if hpmHit.Y[last] <= rmfHit.Y[last] {
+		t.Errorf("eval Bike: online hit rate %v not above fallback %v at max horizon",
+			hpmHit.Y[last], rmfHit.Y[last])
+	}
+	hpmErr, rmfErr := errFig.Series[0], errFig.Series[1]
+	if hpmErr.Y[last] >= rmfErr.Y[last] {
+		t.Errorf("eval Bike: online error %v not below fallback %v at max horizon",
+			hpmErr.Y[last], rmfErr.Y[last])
 	}
 }
 

@@ -32,6 +32,32 @@ func (s Source) String() string {
 	return "motion"
 }
 
+// Path identifies which branch of the Hybrid Prediction Algorithm produced
+// a prediction. Source says *what kind* of answer it is (pattern vs motion);
+// Path says *which query procedure* chose it — the distinction the paper's
+// accuracy figures are sliced by, and what the online evaluator aggregates
+// per horizon.
+type Path uint8
+
+// Answering paths.
+const (
+	PathForward  Path = iota // FQP: near query answered by patterns
+	PathBackward             // BQP: distant query answered by patterns
+	PathFallback             // RMF motion-function fallback
+)
+
+// String implements fmt.Stringer.
+func (p Path) String() string {
+	switch p {
+	case PathForward:
+		return "forward"
+	case PathBackward:
+		return "backward"
+	default:
+		return "fallback"
+	}
+}
+
 // Prediction is one predicted location with its provenance.
 type Prediction struct {
 	Location   geom.Point
@@ -39,6 +65,7 @@ type Prediction struct {
 	Confidence float64 // the pattern confidence c (0 for motion fallback)
 	PatternRef int     // index into the engine's pattern slice, -1 for motion
 	Source     Source
+	Path       Path // the query procedure that produced this answer
 	// Extent is the consequence region's bounding box — the paper's
 	// answers are region centers, and the region extent is the natural
 	// uncertainty bound. Zero for motion-function predictions.
@@ -395,6 +422,7 @@ func (e *Engine) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) 
 				Location:          recent[len(recent)-1].Loc,
 				PatternRef:        -1,
 				Source:            SourceMotion,
+				Path:              PathFallback,
 				ConsequenceOffset: -1,
 			}}
 			e.stats.fallback.Add(1)
@@ -405,7 +433,8 @@ func (e *Engine) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) 
 			e.stats.unanswered.Add(1)
 			continue
 		}
-		out[i] = []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion, ConsequenceOffset: -1}}
+		out[i] = []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion,
+			Path: PathFallback, ConsequenceOffset: -1}}
 		e.stats.fallback.Add(1)
 	}
 	return out, nil
@@ -435,7 +464,7 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 	fitted := false
 	fallback := func(tq int) Prediction {
 		p := Prediction{Location: recent[len(recent)-1].Loc, PatternRef: -1,
-			Source: SourceMotion, ConsequenceOffset: -1}
+			Source: SourceMotion, Path: PathFallback, ConsequenceOffset: -1}
 		if e.cfg.NewMotion == nil {
 			return p
 		}
@@ -500,6 +529,7 @@ func (e *Engine) forwardQuery(sc *queryScratch, visited []pattern.RegionID, tq, 
 			Confidence:        it.Conf,
 			PatternRef:        it.Ref,
 			Source:            SourcePattern,
+			Path:              PathForward,
 			Extent:            fr.MBR,
 			ConsequenceOffset: fr.Offset,
 		})
@@ -554,6 +584,7 @@ func (e *Engine) backwardQuery(scr *queryScratch, visited []pattern.RegionID, tc
 					Confidence:        it.Conf,
 					PatternRef:        it.Ref,
 					Source:            SourcePattern,
+					Path:              PathBackward,
 					Extent:            fr.MBR,
 					ConsequenceOffset: fr.Offset,
 				})
@@ -588,6 +619,7 @@ func (e *Engine) motionFallback(q Query) ([]Prediction, error) {
 			Location:          q.Recent[len(q.Recent)-1].Loc,
 			PatternRef:        -1,
 			Source:            SourceMotion,
+			Path:              PathFallback,
 			ConsequenceOffset: -1,
 		}}, nil
 	}
@@ -595,7 +627,30 @@ func (e *Engine) motionFallback(q Query) ([]Prediction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hpa: motion fallback: %w", err)
 	}
-	return []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion, ConsequenceOffset: -1}}, nil
+	return []Prediction{{Location: loc, PatternRef: -1, Source: SourceMotion,
+		Path: PathFallback, ConsequenceOffset: -1}}, nil
+}
+
+// FallbackQuery answers a query with the motion-function fallback alone,
+// bypassing the pattern paths. The online evaluator uses it to shadow-score
+// the RMF against the hybrid answer, and the store's adaptive routing uses
+// it when a pattern path's measured accuracy has dropped below the
+// fallback's. Counts as a fallback (or unanswered) query in the stats.
+func (e *Engine) FallbackQuery(q Query) ([]Prediction, error) {
+	if len(q.Recent) == 0 {
+		return nil, errors.New("hpa: query has no recent movements")
+	}
+	tc := q.Recent[len(q.Recent)-1].T
+	if q.Tq <= tc {
+		return nil, fmt.Errorf("hpa: query time %d not after current time %d", q.Tq, tc)
+	}
+	fb, err := e.motionFallback(q)
+	if err != nil || len(fb) == 0 {
+		e.stats.unanswered.Add(1)
+	} else {
+		e.stats.fallback.Add(1)
+	}
+	return fb, err
 }
 
 // better reports whether a ranks strictly ahead of b: higher score, ties

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"hpm/store"
+)
+
+// GET /metrics renders the store's operational counters in the Prometheus
+// text exposition format (0.0.4) with nothing but the standard library:
+// fleet shape, WAL commit activity, training health, query traffic by
+// answering path, and the online evaluator's per-horizon × per-path
+// accuracy matrix. Every cell of the matrix is always emitted — zero or
+// not — so scrapes see a stable series set and rate() never loses a
+// series to sparsity.
+
+func handleMetrics(st *store.Store, w http.ResponseWriter, _ *http.Request) {
+	fs := st.FleetStats()
+	var b bytes.Buffer
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("hpm_objects", "Tracked objects.", fs.Objects)
+	gauge("hpm_objects_trained", "Objects serving a trained model.", fs.Trained)
+	gauge("hpm_pending_trains", "Background (re)trains scheduled but not yet swapped in.", fs.PendingTrains)
+	counter("hpm_train_failures_total", "Failed background train attempts since start.", fs.TrainFailures)
+	counter("hpm_drift_retrains_total", "Retrains triggered early by the drift EWMA.", fs.DriftRetrains)
+
+	counter("hpm_wal_records_total", "Observation records appended to the write-ahead log.", fs.WAL.Records)
+	counter("hpm_wal_batches_total", "WAL group commits (file writes).", fs.WAL.Batches)
+	counter("hpm_wal_fsyncs_total", "WAL fsyncs issued.", fs.WAL.Fsyncs)
+
+	fmt.Fprintf(&b, "# HELP hpm_queries_total Predictive queries answered, by answering path.\n")
+	fmt.Fprintf(&b, "# TYPE hpm_queries_total counter\n")
+	fmt.Fprintf(&b, "hpm_queries_total{path=\"forward\"} %d\n", fs.Queries.Forward)
+	fmt.Fprintf(&b, "hpm_queries_total{path=\"backward\"} %d\n", fs.Queries.Backward)
+	fmt.Fprintf(&b, "hpm_queries_total{path=\"fallback\"} %d\n", fs.Queries.Fallback)
+	fmt.Fprintf(&b, "hpm_queries_total{path=\"unanswered\"} %d\n", fs.Queries.Unanswered)
+	counter("hpm_query_nodes_visited_total", "Trajectory-pattern-tree nodes touched by queries.", fs.Queries.NodesVisited)
+
+	gauge("hpm_eval_outstanding", "Served predictions awaiting their ground truth.", fs.Eval.Outstanding)
+	counter("hpm_eval_recorded_total", "Served predictions parked for scoring.", fs.Eval.Recorded)
+	counter("hpm_eval_scored_total", "Predictions scored against an arrived observation.", fs.Eval.Scored)
+	counter("hpm_eval_expired_total", "Parked predictions whose timestamp passed unobserved.", fs.Eval.Expired)
+	counter("hpm_eval_evicted_total", "Parked predictions dropped to ring pressure.", fs.Eval.Evicted)
+
+	fmt.Fprintf(&b, "# HELP hpm_eval_attempts_total Scored predictions by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# TYPE hpm_eval_attempts_total counter\n")
+	for _, c := range fs.Eval.Cells {
+		fmt.Fprintf(&b, "hpm_eval_attempts_total{horizon_le=%q,path=%q} %d\n", c.HorizonLE, c.Path, c.Attempts)
+	}
+	fmt.Fprintf(&b, "# HELP hpm_eval_hits_total Scored predictions within the hit distance, by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# TYPE hpm_eval_hits_total counter\n")
+	for _, c := range fs.Eval.Cells {
+		fmt.Fprintf(&b, "hpm_eval_hits_total{horizon_le=%q,path=%q} %d\n", c.HorizonLE, c.Path, c.Hits)
+	}
+	fmt.Fprintf(&b, "# HELP hpm_eval_error_distance_sum Total error distance of scored predictions, by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# TYPE hpm_eval_error_distance_sum counter\n")
+	for _, c := range fs.Eval.Cells {
+		fmt.Fprintf(&b, "hpm_eval_error_distance_sum{horizon_le=%q,path=%q} %g\n", c.HorizonLE, c.Path, c.ErrorSum)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}

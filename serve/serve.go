@@ -9,6 +9,9 @@
 //	GET  /objects/{id}/predict?tq=N&k=K        (or horizon=H instead of tq)
 //	POST /objects/{id}/predict       {"tqs": [N, ...], "k": K}  (batch; or "horizons")
 //	GET  /objects/{id}/trajectory?from=N&to=M  (predicted path, inclusive)
+//	GET  /objects/{id}/eval          -> online prediction-quality summary
+//	GET  /stats                      -> fleet-level counters (JSON)
+//	GET  /metrics                    -> same counters, Prometheus text format
 //	GET  /healthz                    liveness probe
 //	GET  /readyz                     readiness + recovery/training health
 //
@@ -78,6 +81,20 @@ func Handler(st *store.Store) http.Handler {
 	})
 	mux.HandleFunc("GET /objects/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
 		handleTrajectory(st, w, r)
+	})
+	mux.HandleFunc("GET /objects/{id}/eval", func(w http.ResponseWriter, r *http.Request) {
+		sum, err := st.EvalStats(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, st.FleetStats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(st, w, r)
 	})
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
@@ -176,6 +193,7 @@ type predictionJSON struct {
 	X          float64     `json:"x"`
 	Y          float64     `json:"y"`
 	Source     string      `json:"source"`
+	Path       string      `json:"path"`
 	Score      float64     `json:"score"`
 	Confidence float64     `json:"confidence"`
 	Region     *regionJSON `json:"region,omitempty"`
@@ -193,6 +211,7 @@ func toJSON(p hpm.Prediction) predictionJSON {
 		X:          p.Location.X,
 		Y:          p.Location.Y,
 		Source:     p.Source.String(),
+		Path:       p.Path.String(),
 		Score:      p.Score,
 		Confidence: p.Confidence,
 	}

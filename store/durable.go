@@ -102,26 +102,59 @@ func (s *Store) recoverModels() {
 // of the snapshot. Only the newest segment may carry a torn record (older
 // ones were frozen and fsynced before more writes happened); it is
 // repaired in place by replaySegment.
+//
+// Replay is two-pass because of tombstones. A tombstone erases its
+// object, so a later re-creation restarts track offsets at zero — which
+// breaks the usual invariant that an offset beyond the current track
+// means corruption. When the snapshot is newer than an un-reclaimed
+// frozen segment (a crash between the snapshot write and the segment
+// delete), observe records that predate an id's final tombstone can
+// legitimately sit beyond the restored track. Pass one locates each id's
+// last tombstone in the stream; pass two skips (rather than rejects)
+// offset gaps only in records that tombstone would erase anyway, and
+// stays strict everywhere else.
 func (s *Store) replaySegments(paths []string) (int, error) {
+	var recs []walRecord
+	lastTomb := map[string]int{} // id -> index in recs of its final tombstone
 	total := 0
 	for i, p := range paths {
 		final := i == len(paths)-1
-		n, err := replaySegment(p, final, s.applyReplay)
+		n, err := replaySegment(p, final, func(rec walRecord) error {
+			if len(rec.pts) == 0 {
+				lastTomb[rec.id] = len(recs)
+			}
+			recs = append(recs, rec)
+			return nil
+		})
 		total += n
 		if err != nil {
 			return total, fmt.Errorf("store: replay %s: %w", filepath.Base(p), err)
 		}
 	}
+	for i, rec := range recs {
+		if err := s.applyReplay(rec, i < lastTomb[rec.id]); err != nil {
+			return total, err
+		}
+	}
 	return total, nil
 }
 
-// applyReplay merges one WAL record into the store. The record's offset
-// (the object's track length when it was acknowledged) makes this
-// idempotent: points the snapshot already holds are skipped. An offset
-// beyond the current track would mean an acknowledged record vanished
-// between this one and the snapshot — that is corruption, not a crash
-// artifact, and is reported rather than papered over.
-func (s *Store) applyReplay(rec walRecord) error {
+// applyReplay merges one WAL record into the store. A zero-point record
+// is a tombstone: the object is erased, exactly as Remove did live. For
+// observe records the offset (the object's track length when it was
+// acknowledged) makes replay idempotent: points the snapshot already
+// holds are skipped. An offset beyond the current track means an
+// acknowledged record vanished between this one and the snapshot — that
+// is corruption and is reported, unless preTombstone says a later
+// tombstone erases this object anyway (see replaySegments).
+func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
+	if len(rec.pts) == 0 {
+		sh := s.shard(rec.id)
+		sh.mu.Lock()
+		delete(sh.objects, rec.id)
+		sh.mu.Unlock()
+		return nil
+	}
 	obj, err := s.get(rec.id, true)
 	if err != nil {
 		return err
@@ -134,6 +167,9 @@ func (s *Store) applyReplay(rec walRecord) error {
 	defer obj.mu.Unlock()
 	have := len(obj.track)
 	if rec.offset > have {
+		if preTombstone {
+			return nil // erased by the id's later tombstone regardless
+		}
 		return fmt.Errorf("store: replay gap for %q: record at offset %d, track has %d", rec.id, rec.offset, have)
 	}
 	if rec.offset+len(rec.pts) <= have {
@@ -256,6 +292,18 @@ func (s *Store) walAppend(id string, offset int, pts []hpm.Point) error {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	return s.wal.append(id, offset, pts)
+}
+
+// walRemove logs an object's removal as a tombstone: a record with zero
+// points, a shape the observe paths never write (empty batches return
+// before reaching the WAL). Called with obj.ingestMu held, like
+// walAppend, so no observe record for this object can slip in between
+// the tombstone and the map deletion.
+func (s *Store) walRemove(id string) error {
+	if err := s.fault(faultinject.OpWALAppend); err != nil {
+		return fmt.Errorf("store: wal remove: %w", err)
+	}
+	return s.wal.append(id, 0, nil)
 }
 
 // walAppendAll logs a fleet batch as one group commit. Called with every

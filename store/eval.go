@@ -1,0 +1,184 @@
+package store
+
+import (
+	"hpm"
+	"hpm/internal/evalq"
+)
+
+// Online prequential evaluation (test-then-train): every prediction a
+// query serves is parked in the object's bounded evalq ring, and every
+// acknowledged observation is ground truth for the parked predictions
+// whose query timestamp it covers. The resulting per-horizon × per-path
+// accuracy counters reproduce the paper's accuracy-vs-query-time figures
+// on live traffic, drive the drift-triggered early retrain
+// (Options.DriftThreshold) and the adaptive fallback routing
+// (Options.AdaptiveRouting), and surface through EvalStats, FleetStats
+// and serve's /metrics endpoint.
+
+// evalPath maps a prediction's answering path to the evaluator's label
+// space. The enums are defined independently (hpa must not import evalq,
+// nor vice versa), so the mapping is explicit.
+func evalPath(p hpm.Path) evalq.Path {
+	switch p {
+	case hpm.PathBackward:
+		return evalq.PathBackward
+	case hpm.PathFallback:
+		return evalq.PathFallback
+	default:
+		return evalq.PathForward
+	}
+}
+
+// recordPrediction parks a query's top answer in the object's evaluator.
+// Called with obj.mu at least read-locked; the tracker has its own lock,
+// so concurrent queries record without write-locking the object.
+func (s *Store) recordPrediction(obj *object, now, tq int, preds []hpm.Prediction, err error) {
+	if err != nil || len(preds) == 0 || obj.eval == nil {
+		return
+	}
+	obj.eval.Record(now, tq, evalPath(preds[0].Path), preds[0].Location)
+}
+
+// scoreLocked scores the just-appended observations against the object's
+// outstanding predictions and, when the drift EWMA crosses the threshold,
+// schedules an early retrain through the normal training pool. Called
+// with obj.mu held for writing, right after track grew past base.
+func (s *Store) scoreLocked(obj *object, base int, pts []hpm.Point) {
+	scored, ewma, n := obj.eval.Observe(base, pts)
+	if scored == 0 || s.opts.DriftThreshold <= 0 {
+		return
+	}
+	if ewma <= s.opts.DriftThreshold || n < s.opts.DriftMinScores {
+		return
+	}
+	if obj.predictor == nil || obj.training {
+		// Untrained objects have nothing to refresh; an in-flight train
+		// will absorb the new data when it swaps in.
+		return
+	}
+	completed := len(obj.track) / s.opts.Config.Period
+	if completed < s.opts.MinTrainPeriods {
+		return
+	}
+	// Reset first so the retrained model starts with a clean signal and
+	// one straggling error cannot immediately re-fire.
+	obj.eval.ResetEWMA()
+	obj.driftRetrains++
+	s.driftRetrains.Add(1)
+	// Synchronous-training failures already land in the object's stats;
+	// an ingest should not fail because a quality-driven retrain did.
+	_ = s.startTrain(obj, completed)
+}
+
+// routeToFallback reports whether adaptive routing should answer this
+// query with the motion fallback: the pattern path the hybrid dispatch
+// would pick has measured behind the fallback at this horizon. Called
+// with obj.mu at least read-locked and obj.predictor non-nil.
+func (s *Store) routeToFallback(obj *object, now, tq int) bool {
+	if !s.opts.AdaptiveRouting || obj.eval == nil || tq <= now {
+		return false
+	}
+	pat := evalq.PathForward
+	if obj.predictor.IsDistant(now, tq) {
+		pat = evalq.PathBackward
+	}
+	return obj.eval.PreferFallback(tq-now, pat, uint64(s.opts.AdaptiveMinSamples))
+}
+
+// PredictFallback answers a query with the motion-function fallback
+// alone, bypassing the pattern paths. Shadow-scoring it alongside Predict
+// feeds the evaluator the per-path comparison the paper makes offline:
+// the fallback's answer is parked and scored like any other, so the
+// fallback column of the accuracy matrix fills even while the pattern
+// paths answer the real traffic.
+func (s *Store) PredictFallback(id string, tq int) ([]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	now := len(obj.track) - 1
+	preds, err := obj.predictor.PredictFallback(recent, tq)
+	s.recordPrediction(obj, now, tq, preds, err)
+	return preds, err
+}
+
+// EvalStats returns one object's online evaluation summary. A store with
+// evaluation disabled returns an empty summary with stable (all-zero)
+// cells.
+func (s *Store) EvalStats(id string) (evalq.Summary, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return evalq.Summary{}, err
+	}
+	if obj.eval == nil {
+		return evalq.Summarize(s.opts.Eval, evalq.Agg{}), nil
+	}
+	return obj.eval.Snapshot(), nil
+}
+
+// EvalConfig returns the normalized evaluator configuration (buckets, hit
+// distance, ring bound) shared by every object's tracker.
+func (s *Store) EvalConfig() evalq.Config { return s.opts.Eval }
+
+// FleetStats is the store-wide operational summary: the fleet shape, the
+// durable-ingest counters, training health, aggregate query traffic by
+// answering path, and the merged online-evaluation matrix.
+type FleetStats struct {
+	Objects int `json:"objects"`
+	Trained int `json:"trained"`
+	// PendingTrains counts scheduled background trains not yet swapped
+	// in; TrainFailures every failed background attempt since start;
+	// DriftRetrains the retrains the drift EWMA triggered early.
+	PendingTrains int    `json:"pendingTrains"`
+	TrainFailures uint64 `json:"trainFailures"`
+	DriftRetrains uint64 `json:"driftRetrains"`
+	WAL           WALStats
+	// Queries sums every object's query counters, including counters
+	// banked from predictors retired by retrains.
+	Queries hpm.QueryStats
+	Eval    evalq.Summary
+}
+
+// FleetStats aggregates across every object. Shards are visited one at a
+// time; objects added or removed mid-walk may or may not be counted, like
+// any concurrent summary.
+func (s *Store) FleetStats() FleetStats {
+	var fs FleetStats
+	var agg evalq.Agg
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		objs := make([]*object, 0, len(sh.objects))
+		for _, obj := range sh.objects {
+			objs = append(objs, obj)
+		}
+		sh.mu.RUnlock()
+		for _, obj := range objs {
+			fs.Objects++
+			obj.mu.RLock()
+			fs.Queries = fs.Queries.Add(obj.queries)
+			if obj.predictor != nil {
+				fs.Trained++
+				fs.Queries = fs.Queries.Add(obj.predictor.QueryStats())
+			}
+			obj.mu.RUnlock()
+			if obj.eval != nil {
+				obj.eval.MergeInto(&agg)
+			}
+		}
+	}
+	fs.Eval = evalq.Summarize(s.opts.Eval, agg)
+	fs.WAL = s.WALStats()
+	fs.DriftRetrains = s.driftRetrains.Load()
+	s.trainMu.Lock()
+	fs.PendingTrains = s.pending
+	fs.TrainFailures = s.errTotal
+	s.trainMu.Unlock()
+	return fs
+}

@@ -158,11 +158,10 @@ func readObject(br *bufio.Reader, s *Store) error {
 	if err != nil {
 		return fmt.Errorf("store: read trained flag: %w", err)
 	}
-	obj := &object{
-		track:        track,
-		modeled:      int(modeled),
-		sinceRetrain: int(sinceRetrain),
-	}
+	obj := s.newObject()
+	obj.track = track
+	obj.modeled = int(modeled)
+	obj.sinceRetrain = int(sinceRetrain)
 	if trained == 1 {
 		p, err := hpm.Load(br)
 		if err != nil {

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -85,7 +86,7 @@ func TestStoreSnapshotOptionsPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.opts != s.opts {
+	if !reflect.DeepEqual(back.opts, s.opts) {
 		t.Errorf("options differ: %+v vs %+v", back.opts, s.opts)
 	}
 	if back.Period() != period {

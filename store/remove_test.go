@@ -1,0 +1,209 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestRemoveUnknownIsNoOp(t *testing.T) {
+	s := testStore(t, Options{})
+	if err := s.Remove("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, "bike", 1, 2)
+	if err := s.Remove("bike"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("bike"); err != nil { // double remove
+		t.Fatal(err)
+	}
+	if _, err := s.Now("bike"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("removed object still known: %v", err)
+	}
+}
+
+// TestRemoveDurableSurvivesCrash is the satellite's headline: a Removed
+// object must stay removed after a kill -9 restart, even though the WAL
+// still holds its observations — the tombstone erases them on replay.
+func TestRemoveDurableSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, s, "bus-keep", 1, 4, 37)
+	ingest(t, s, "bus-gone", 2, 4, 37)
+	if err := s.Remove("bus-gone"); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if _, err := back.Now("bus-gone"); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("removed object resurrected after crash: %v", err)
+	}
+	st, err := back.Stats("bus-keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points != 4*period {
+		t.Errorf("survivor lost points: %d, want %d", st.Points, 4*period)
+	}
+}
+
+// TestRemoveDurableSurvivesCheckpoint closes the store gracefully (final
+// checkpoint) and requires the snapshot itself to have dropped the
+// removed object.
+func TestRemoveDurableSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, s, "bus-keep", 1, 3, 41)
+	ingest(t, s, "bus-gone", 2, 3, 41)
+	if err := s.Remove("bus-gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if _, err := back.Now("bus-gone"); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("removed object resurrected from snapshot: %v", err)
+	}
+	if _, err := back.Stats("bus-keep"); err != nil {
+		t.Errorf("survivor missing: %v", err)
+	}
+}
+
+// TestRemoveDurableRecreate removes an object and re-creates it under
+// the same id before crashing: replay must apply the tombstone, then
+// rebuild only the fresh history whose offsets restarted at zero.
+func TestRemoveDurableRecreate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, s, "bus", 1, 3, 37)
+	if err := s.Remove("bus"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := walPoints(900, 25)
+	if err := s.ObserveBatch("bus", fresh); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	st, err := back.Stats("bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points != len(fresh) {
+		t.Errorf("recreated object has %d points, want %d (old history leaked in)", st.Points, len(fresh))
+	}
+}
+
+// TestRemoveReplayGapBeforeTombstone hand-crafts the nastiest recovery:
+// a crash lands between a checkpoint's snapshot write and its segment
+// reclaim, so replay walks a frozen segment holding pre-tombstone
+// records whose offsets point past the (newer) snapshot's track. Those
+// gaps must be skipped — the tombstone erases them anyway — while the
+// post-tombstone records rebuild the fresh object.
+func TestRemoveReplayGapBeforeTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old life: 2 periods in the snapshot, one more period only in the
+	// WAL — replayed records at offsets 120..179.
+	ingest(t, s, "bus", 1, 2, 37)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ingestMore(t, s, "bus", 1, 2, 3)
+	// Death and rebirth: tombstone, then a short fresh track at offset 0.
+	if err := s.Remove("bus"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := walPoints(700, 30)
+	if err := s.ObserveBatch("bus", fresh); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint that dies between SaveFile and reclaim: the snapshot
+	// now holds only the 30-point fresh track, but the frozen segment
+	// with offset-120..179 records (and the tombstone) is still on disk.
+	if _, err := s.wal.rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveFile(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatalf("recovery rejected pre-tombstone offset gap: %v", err)
+	}
+	defer back.Close()
+	st, err := back.Stats("bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points != len(fresh) {
+		t.Errorf("recovered %d points, want %d", st.Points, len(fresh))
+	}
+}
+
+// TestRemoveRacingObserve hammers Remove against concurrent observers:
+// every acknowledged post-remove observation must land on the re-created
+// object, never on the tombstoned one, and a crash replay must agree.
+func TestRemoveRacingObserve(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := walPoints(0, 2)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if err := s.ObserveBatch("bus", pts); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 50; i++ {
+		if err := s.Remove("bus"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	crash(s)
+	back, err := Open(dir, durableOpts())
+	if err != nil {
+		t.Fatalf("replay after remove/observe race: %v", err)
+	}
+	back.Close()
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hpm"
+	"hpm/internal/evalq"
 	"hpm/internal/faultinject"
 )
 
@@ -76,15 +77,44 @@ type Options struct {
 	// <= 0 default to DefaultShards; 1 yields the old single-lock map
 	// (useful as a benchmark baseline).
 	Shards int
+	// Eval tunes the online prequential evaluator: ring bound, hit
+	// distance D, horizon buckets, EWMA smoothing. Zero fields take the
+	// evalq defaults. See internal/evalq.
+	Eval evalq.Config
+	// EvalDisabled turns the online evaluator off entirely: no prediction
+	// is parked, no observation is scored, and the eval endpoints report
+	// empty summaries.
+	EvalDisabled bool
+	// DriftThreshold, when positive, schedules an early retrain whenever
+	// an object's error EWMA exceeds it (and at least DriftMinScores
+	// predictions were scored since the last reset). 0 disables drift
+	// detection — the default.
+	DriftThreshold float64
+	// DriftMinScores is how many predictions must be scored since the
+	// EWMA was last reset before drift may trigger, so one bad prediction
+	// after a retrain cannot immediately re-fire. Values <= 0 default to
+	// DefaultDriftMinScores.
+	DriftMinScores int
+	// AdaptiveRouting answers a Predict with the motion fallback directly
+	// when the evaluator has measured the dispatched pattern path (FQP or
+	// BQP) behind the fallback at the query's horizon — the paper's
+	// hybrid dispatch, closed-loop on live accuracy. Off by default.
+	AdaptiveRouting bool
+	// AdaptiveMinSamples is the per-cell sample floor before adaptive
+	// routing trusts a comparison. Values <= 0 default to
+	// DefaultAdaptiveMinSamples.
+	AdaptiveMinSamples int
 }
 
 // Defaults for Options fields left at their zero value.
 const (
-	DefaultMinTrainPeriods   = 5
-	DefaultMaxRecent         = 10
-	DefaultTrainMaxRetries   = 3
-	DefaultTrainRetryBackoff = 100 * time.Millisecond
-	DefaultShards            = 64
+	DefaultMinTrainPeriods    = 5
+	DefaultMaxRecent          = 10
+	DefaultTrainMaxRetries    = 3
+	DefaultTrainRetryBackoff  = 100 * time.Millisecond
+	DefaultShards             = 64
+	DefaultDriftMinScores     = 10
+	DefaultAdaptiveMinSamples = 20
 )
 
 // maxShards bounds Options.Shards against absurd configurations (each
@@ -129,6 +159,13 @@ func (o Options) withDefaults() Options {
 		n <<= 1
 	}
 	o.Shards = n
+	o.Eval = o.Eval.WithDefaults()
+	if o.DriftMinScores <= 0 {
+		o.DriftMinScores = DefaultDriftMinScores
+	}
+	if o.AdaptiveMinSamples <= 0 {
+		o.AdaptiveMinSamples = DefaultAdaptiveMinSamples
+	}
 	o.Config.SubTrajectories = 0
 	return o
 }
@@ -190,6 +227,10 @@ type Store struct {
 	replayed     int  // WAL records replayed at Open
 	checkpointMu sync.Mutex
 
+	// driftRetrains counts retrains triggered fleet-wide by the drift
+	// EWMA (Options.DriftThreshold), for FleetStats and /metrics.
+	driftRetrains atomic.Uint64
+
 	// faults, when set, is consulted at durability and training fault
 	// points so tests can inject deterministic failures.
 	faults atomic.Pointer[faultinject.Hook]
@@ -238,6 +279,17 @@ type object struct {
 	// succeeds; trainFails counts failed attempts over the object's life.
 	lastTrainErr error
 	trainFails   int
+	// eval scores this object's served predictions against later
+	// observations (nil when Options.EvalDisabled). It has its own lock:
+	// queries record into it under obj.mu's read lock.
+	eval *evalq.Tracker
+	// driftRetrains counts retrains triggered by the drift EWMA.
+	driftRetrains int
+	// removed marks an object deleted by Remove; guarded by ingestMu. An
+	// observer that raced Remove and still holds this pointer must drop
+	// it and re-create through the shard map, or its WAL records would
+	// land after the tombstone and corrupt replay.
+	removed bool
 }
 
 // New returns an empty store. Config.Period must be positive.
@@ -270,6 +322,15 @@ func (s *Store) shard(id string) *shard {
 	return &s.shards[h&s.shardMask]
 }
 
+// newObject allocates an object's state under the store's options.
+func (s *Store) newObject() *object {
+	obj := &object{}
+	if !s.opts.EvalDisabled {
+		obj.eval = evalq.New(s.opts.Eval)
+	}
+	return obj
+}
+
 // get returns the object's state, creating it when create is set.
 func (s *Store) get(id string, create bool) (*object, error) {
 	sh := s.shard(id)
@@ -285,7 +346,7 @@ func (s *Store) get(id string, create bool) (*object, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if obj = sh.objects[id]; obj == nil {
-		obj = &object{}
+		obj = s.newObject()
 		sh.objects[id] = obj
 	}
 	return obj, nil
@@ -316,12 +377,29 @@ func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 			return fmt.Errorf("%w: (%v, %v)", ErrInvalidPoint, p.X, p.Y)
 		}
 	}
-	obj, err := s.get(id, true)
-	if err != nil {
+	for {
+		obj, err := s.get(id, true)
+		if err != nil {
+			return err
+		}
+		obj.ingestMu.Lock()
+		if obj.removed {
+			// Raced Remove: this pointer is tombstoned, so its WAL records
+			// would land after the tombstone with stale offsets. Re-create
+			// through the shard map.
+			obj.ingestMu.Unlock()
+			continue
+		}
+		err = s.observeLocked(obj, id, locs)
+		obj.ingestMu.Unlock()
 		return err
 	}
-	obj.ingestMu.Lock()
-	defer obj.ingestMu.Unlock()
+}
+
+// observeLocked commits and applies one object's batch: WAL first (the
+// acknowledgment barrier), then the in-memory track, prequential scoring
+// and the model-update policy. Called with obj.ingestMu held.
+func (s *Store) observeLocked(obj *object, id string, locs []hpm.Point) error {
 	if s.wal != nil {
 		// Track mutation requires ingestMu, so the offset read is stable
 		// without obj.mu and stays the track length until we apply below.
@@ -331,7 +409,11 @@ func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
 	}
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
+	base := len(obj.track)
 	obj.track = append(obj.track, locs...)
+	if obj.eval != nil {
+		s.scoreLocked(obj, base, locs)
+	}
 	return s.maybeUpdate(obj)
 }
 
@@ -385,19 +467,37 @@ func (s *Store) ObserveAll(batch []Observation) error {
 	}
 	// Lock the objects' ingest mutexes in sorted-id order: concurrent
 	// fleet batches acquire in the same order, so they cannot deadlock
-	// (single-object observers hold at most one).
+	// (single-object observers hold at most one). An object tombstoned by
+	// a concurrent Remove between lookup and lock must be re-created
+	// through the shard map, so the whole acquire phase retries.
 	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
-	for i := range groups {
-		obj, err := s.get(groups[i].id, true)
-		if err != nil {
-			return err
+acquire:
+	for {
+		for i := range groups {
+			obj, err := s.get(groups[i].id, true)
+			if err != nil {
+				return err
+			}
+			groups[i].obj = obj
 		}
-		groups[i].obj = obj
+		for i := range groups {
+			groups[i].obj.ingestMu.Lock()
+		}
+		for i := range groups {
+			if groups[i].obj.removed {
+				for j := range groups {
+					groups[j].obj.ingestMu.Unlock()
+				}
+				continue acquire
+			}
+		}
+		break
 	}
-	for i := range groups {
-		groups[i].obj.ingestMu.Lock()
-		defer groups[i].obj.ingestMu.Unlock()
-	}
+	defer func() {
+		for i := range groups {
+			groups[i].obj.ingestMu.Unlock()
+		}
+	}()
 	if s.wal != nil {
 		recs := make([]walRecord, len(groups))
 		for i, g := range groups {
@@ -410,7 +510,11 @@ func (s *Store) ObserveAll(batch []Observation) error {
 	var errs []error
 	for _, g := range groups {
 		g.obj.mu.Lock()
+		base := len(g.obj.track)
 		g.obj.track = append(g.obj.track, g.pts...)
+		if g.obj.eval != nil {
+			s.scoreLocked(g.obj, base, g.pts)
+		}
 		if err := s.maybeUpdate(g.obj); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", g.id, err))
 		}
@@ -698,7 +802,15 @@ func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	return obj.predictor.Predict(recent, tq, k)
+	now := len(obj.track) - 1
+	if s.routeToFallback(obj, now, tq) {
+		preds, err := obj.predictor.PredictFallback(recent, tq)
+		s.recordPrediction(obj, now, tq, preds, err)
+		return preds, err
+	}
+	preds, err := obj.predictor.Predict(recent, tq, k)
+	s.recordPrediction(obj, now, tq, preds, err)
+	return preds, err
 }
 
 // PredictRange estimates the object's locations over [from, to].
@@ -733,7 +845,14 @@ func (s *Store) PredictBatch(id string, tqs []int, k int) ([][]hpm.Prediction, e
 	if err != nil {
 		return nil, err
 	}
-	return obj.predictor.PredictBatch(recent, tqs, k)
+	out, err := obj.predictor.PredictBatch(recent, tqs, k)
+	if err == nil && obj.eval != nil {
+		now := len(obj.track) - 1
+		for i, preds := range out {
+			s.recordPrediction(obj, now, tqs[i], preds, nil)
+		}
+	}
+	return out, err
 }
 
 // recentLocked builds the query window from the tail of the track.
@@ -782,6 +901,8 @@ type ObjectStats struct {
 	// serving its previous model while retrains fail.
 	TrainFailures  int
 	LastTrainError string `json:",omitempty"`
+	// DriftRetrains counts retrains the drift EWMA triggered early.
+	DriftRetrains int
 	// Queries summarizes the object's query traffic by answering path.
 	Queries hpm.QueryStats
 }
@@ -801,6 +922,7 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 		Training:      obj.training,
 		Modeled:       obj.modeled,
 		TrainFailures: obj.trainFails,
+		DriftRetrains: obj.driftRetrains,
 		Queries:       obj.queries,
 	}
 	if obj.lastTrainErr != nil {
@@ -877,12 +999,37 @@ func (s *Store) Objects() []string {
 	return ids
 }
 
-// Remove forgets an object entirely.
-func (s *Store) Remove(id string) {
+// Remove forgets an object entirely. On a durable store the removal is
+// acknowledged like an observation: a tombstone WAL record (zero points —
+// a shape the observe paths never write) hits disk before the object
+// leaves the table, so it stays gone across restarts even though older
+// segments and the snapshot still mention it; the next checkpoint drops
+// it from the snapshot too. Removing an unknown id is a no-op.
+func (s *Store) Remove(id string) error {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil // never observed (or already removed): nothing to do
+	}
+	obj.ingestMu.Lock()
+	defer obj.ingestMu.Unlock()
+	if obj.removed {
+		return nil // lost a race with another Remove
+	}
+	if s.wal != nil {
+		if err := s.walRemove(id); err != nil {
+			return err // not acknowledged: the object stays
+		}
+	}
+	obj.removed = true
 	sh := s.shard(id)
 	sh.mu.Lock()
-	delete(sh.objects, id)
+	// Guard against deleting a successor: a writer that raced this Remove
+	// may already have re-created the id with a fresh object.
+	if sh.objects[id] == obj {
+		delete(sh.objects, id)
+	}
 	sh.mu.Unlock()
+	return nil
 }
 
 // WALStats summarizes the write-ahead log's commit activity since Open:
