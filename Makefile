@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query bench-ingest bench-eval chaos
+.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain chaos
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,9 @@ bench-ingest:
 # horizon. Regenerates BENCH_eval.json.
 bench-eval:
 	$(GO) run ./cmd/hpmbench -experiment eval -json
+
+# Model-maintenance cost: full batch retrain vs incremental Extend as
+# history grows, with the accuracy divergence between the two. Regenerates
+# BENCH_retrain.json.
+bench-retrain:
+	$(GO) run ./cmd/hpmbench -experiment retrain -json

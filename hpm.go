@@ -156,6 +156,17 @@ type Config struct {
 	// the whole history.
 	SubTrajectories int
 
+	// RetainPeriods bounds the history that counts toward pattern
+	// supports: when positive, Extend retires periods older than the
+	// window, so the model tracks a sliding window of recent behavior.
+	// 0 keeps history unbounded (the paper's setting).
+	RetainPeriods int
+
+	// DisableRegionDiscovery keeps the frequent-region set fixed during
+	// Extend, exactly as the paper specifies: unmatched points are
+	// counted but never mint new regions.
+	DisableRegionDiscovery bool
+
 	// DistantThreshold is d: queries at least this far ahead of the
 	// current time use Backward Query Processing. TimeRelaxation is tε,
 	// BQP's base window radius. Weight selects the premise weighting.
@@ -196,11 +207,13 @@ func (c Config) toParams() core.Params {
 			CountUnpruned:    c.CountUnprunedRules,
 			ConsequenceReach: c.ConsequenceReach,
 		},
-		SubTrajectories:  c.SubTrajectories,
-		DistantThreshold: c.DistantThreshold,
-		TimeRelaxation:   c.TimeRelaxation,
-		Weight:           c.Weight,
-		Motion:           c.Motion,
+		SubTrajectories:        c.SubTrajectories,
+		HistoryWindow:          c.RetainPeriods,
+		DisableRegionDiscovery: c.DisableRegionDiscovery,
+		DistantThreshold:       c.DistantThreshold,
+		TimeRelaxation:         c.TimeRelaxation,
+		Weight:                 c.Weight,
+		Motion:                 c.Motion,
 		RMF: motion.RMFConfig{
 			Retrospect: c.Retrospect,
 			Window:     c.MotionWindow,
@@ -243,10 +256,15 @@ func (p *Predictor) Predict(recent []TimedPoint, tq, k int) ([]Prediction, error
 type ExtendResult = core.ExtendResult
 
 // Extend absorbs newly accumulated movement without retraining (§V-B
-// dynamic data): points must cover whole periods (len divisible by
-// Period); the new days are assigned to the existing frequent regions and
-// any newly qualifying patterns are inserted into the live index. Regions
-// and key tables stay fixed until a full Train.
+// dynamic data, extended): points must cover whole periods (len divisible
+// by Period). The new days are assigned to the existing frequent regions,
+// and only the patterns whose support they touch are re-evaluated — newly
+// qualifying patterns insert into the live index, demoted ones retire,
+// changed confidences rewrite in place, so update cost tracks the new
+// data rather than the full history. Points matching no region buffer
+// toward minting new frequent regions (see
+// Config.DisableRegionDiscovery), and Config.RetainPeriods bounds the
+// history that counts toward supports.
 func (p *Predictor) Extend(points []Point) (ExtendResult, error) {
 	period := p.model.Params().Period
 	tr := NewTrajectory(points)

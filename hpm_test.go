@@ -165,8 +165,8 @@ func TestExtendPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.NumPatterns() != before+res.NewPatterns {
-		t.Errorf("patterns %d != %d + %d", p.NumPatterns(), before, res.NewPatterns)
+	if p.NumPatterns() != before+res.NewPatterns-res.RetiredPatterns {
+		t.Errorf("patterns %d != %d + %d - %d", p.NumPatterns(), before, res.NewPatterns, res.RetiredPatterns)
 	}
 	// Partial periods are rejected.
 	if _, err := p.Extend(pts[:spec.Period+5]); err == nil {

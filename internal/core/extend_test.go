@@ -38,8 +38,9 @@ func TestExtendInsertsNewPatterns(t *testing.T) {
 	if res.TotalPatterns != m.NumPatterns() {
 		t.Errorf("result total %d != model %d", res.TotalPatterns, m.NumPatterns())
 	}
-	if m.NumPatterns() != before+res.NewPatterns {
-		t.Errorf("patterns %d != before %d + new %d", m.NumPatterns(), before, res.NewPatterns)
+	if m.NumPatterns() != before+res.NewPatterns-res.RetiredPatterns {
+		t.Errorf("patterns %d != before %d + new %d - retired %d",
+			m.NumPatterns(), before, res.NewPatterns, res.RetiredPatterns)
 	}
 	if m.TreeStats().Items != m.NumPatterns() {
 		t.Errorf("tree items %d != patterns %d after extend", m.TreeStats().Items, m.NumPatterns())

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hpm/internal/datagen"
+	"hpm/internal/geom"
+	"hpm/internal/pattern"
+	"hpm/internal/trajectory"
+)
+
+// livePatternsByKey indexes the model's live rules by identity.
+func livePatternsByKey(t *testing.T, m *Model) map[pattern.IdentityKey]pattern.Pattern {
+	t.Helper()
+	out := make(map[pattern.IdentityKey]pattern.Pattern)
+	for ref, p := range m.Patterns() {
+		if !m.Engine().IsLive(ref) {
+			continue
+		}
+		key := pattern.PatternIdentity(p)
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate live pattern %v", p)
+		}
+		out[key] = p
+	}
+	if len(out) != m.NumPatterns() {
+		t.Fatalf("live set %d != NumPatterns %d", len(out), m.NumPatterns())
+	}
+	return out
+}
+
+// requireBatchEquivalent re-mines the model's own region table from
+// scratch and requires the live rule set to match exactly: same rules,
+// same supports, bit-identical confidences. The batch miner reads the
+// live visitor bitmaps, so it is ground truth for any absorb/retire
+// history (as long as no regions were minted, which would unsort the
+// table's offsets).
+func requireBatchEquivalent(t *testing.T, m *Model, when string) {
+	t.Helper()
+	want := pattern.Mine(m.Regions(), m.Params().Mining)
+	got := livePatternsByKey(t, m)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d live rules, batch mines %d", when, len(got), len(want))
+	}
+	for _, wp := range want {
+		gp, ok := got[pattern.PatternIdentity(wp)]
+		if !ok {
+			t.Fatalf("%s: batch rule %v missing from live set", when, wp)
+		}
+		if gp.Support != wp.Support || gp.Confidence != wp.Confidence {
+			t.Fatalf("%s: rule %v has support=%d conf=%v, batch says support=%d conf=%v",
+				when, wp.Premise, gp.Support, gp.Confidence, wp.Support, wp.Confidence)
+		}
+	}
+	if m.TreeStats().Items != len(want) {
+		t.Fatalf("%s: tree holds %d items for %d live rules", when, m.TreeStats().Items, len(want))
+	}
+}
+
+// TestExtendEquivalentToBatchMiner pins the tentpole correctness claim on
+// all four datasets: with region discovery off, a model grown by repeated
+// incremental Extends holds exactly the rule set batch mining over the
+// same visitor bitmaps produces — same rules, same supports, bit-identical
+// confidences — at every step.
+func TestExtendEquivalentToBatchMiner(t *testing.T) {
+	for _, kind := range datagen.Kinds {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			spec := datagen.DefaultSpec(kind, 19)
+			spec.Period = 60
+			spec.SubTrajectories = 36
+			subs, err := datagen.Generate(spec).Decompose(spec.Period)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := TrainSubTrajectories(subs[:12], Params{
+				Period:                 spec.Period,
+				DisableRegionDiscovery: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 12; n < len(subs); n += 4 {
+				hi := n + 4
+				if hi > len(subs) {
+					hi = len(subs)
+				}
+				if _, err := m.Extend(subs[n:hi]); err != nil {
+					t.Fatal(err)
+				}
+				requireBatchEquivalent(t, m, fmt.Sprintf("after %d subs", hi))
+			}
+		})
+	}
+}
+
+// TestExtendWindowEquivalentToBatchMiner repeats the equivalence check
+// with a sliding history window: retirement clears the expired days'
+// visitor bits, and the batch miner — reading those same bitmaps — must
+// still agree exactly with the incrementally maintained rules.
+func TestExtendWindowEquivalentToBatchMiner(t *testing.T) {
+	spec := datagen.DefaultSpec(datagen.Bike, 5)
+	spec.Period = 60
+	spec.SubTrajectories = 40
+	subs, err := datagen.Generate(spec).Decompose(spec.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 14
+	m, err := TrainSubTrajectories(subs[:12], Params{
+		Period:                 spec.Period,
+		HistoryWindow:          window,
+		DisableRegionDiscovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retired := 0
+	for n := 12; n < len(subs); n += 3 {
+		hi := n + 3
+		if hi > len(subs) {
+			hi = len(subs)
+		}
+		res, err := m.Extend(subs[n:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		retired += res.RetiredSubTrajectories
+		requireBatchEquivalent(t, m, fmt.Sprintf("after %d subs (window %d)", hi, window))
+		// Supports cannot exceed the live window.
+		for _, p := range livePatternsByKey(t, m) {
+			if p.Support > window {
+				t.Fatalf("pattern support %d exceeds window %d", p.Support, window)
+			}
+		}
+	}
+	if want := len(subs) - window; retired != want {
+		t.Fatalf("retired %d sub-trajectories, want %d", retired, want)
+	}
+}
+
+// TestExtendMintsRegions drives the full path: days that repeatedly visit
+// a spot no trained region covers must first count as unmatched, then —
+// once the per-offset buffer can support a cluster — mint a new frequent
+// region, widen the key space, and promote patterns through it, all while
+// the model keeps answering queries.
+func TestExtendMintsRegions(t *testing.T) {
+	spec := datagen.DefaultSpec(datagen.Bike, 23)
+	spec.Period = 60
+	spec.SubTrajectories = 24
+	subs, err := datagen.Generate(spec).Decompose(spec.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainSubTrajectories(subs[:16], Params{Period: spec.Period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionsBefore := m.NumRegions()
+
+	// Rewrite a window of each remaining day to a far-away haunt the
+	// training data never visited; day-to-day jitter keeps DBSCAN honest.
+	far := geom.Pt(90000, 90000)
+	novel := make([]trajectory.SubTrajectory, 0, len(subs)-16)
+	for i, s := range subs[16:] {
+		cp := trajectory.SubTrajectory{Index: s.Index, Points: append([]geom.Point(nil), s.Points...)}
+		for off := 20; off < 30; off++ {
+			cp.Points[off] = geom.Pt(far.X+float64(i), far.Y+float64(off))
+		}
+		novel = append(novel, cp)
+	}
+
+	var unmatched, mintedRegions, newPatterns int
+	for _, day := range novel {
+		res, err := m.Extend([]trajectory.SubTrajectory{day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unmatched += res.UnmatchedPoints
+		mintedRegions += res.NewRegions
+		newPatterns += res.NewPatterns
+		if m.TreeStats().Items != m.NumPatterns() {
+			t.Fatalf("tree items %d != live patterns %d", m.TreeStats().Items, m.NumPatterns())
+		}
+	}
+	if unmatched == 0 {
+		t.Fatal("no unmatched points counted for novel movement")
+	}
+	if mintedRegions == 0 {
+		t.Fatal("no region minted from the repeated novel haunt")
+	}
+	if m.NumRegions() != regionsBefore+mintedRegions {
+		t.Fatalf("region table has %d regions, want %d + %d minted",
+			m.NumRegions(), regionsBefore, mintedRegions)
+	}
+	// A minted region must be locatable where the novel points landed.
+	if _, ok := m.Regions().Locate(25, geom.Pt(far.X+3, far.Y+25)); !ok {
+		t.Fatal("novel haunt not covered by any minted region")
+	}
+
+	// End-to-end: the grown model still answers queries.
+	day := subs[20]
+	base := (16 + len(novel)) * spec.Period
+	var recent []trajectory.TimedPoint
+	for off := 0; off < 10; off++ {
+		recent = append(recent, trajectory.TimedPoint{T: base + off, Loc: day.Points[off]})
+	}
+	if _, err := m.Predict(recent, base+25, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendDisableRegionDiscovery: with discovery off the same novel
+// movement counts as unmatched forever and never changes the region set.
+func TestExtendDisableRegionDiscovery(t *testing.T) {
+	spec := datagen.DefaultSpec(datagen.Cow, 29)
+	spec.Period = 60
+	spec.SubTrajectories = 20
+	subs, err := datagen.Generate(spec).Decompose(spec.Period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainSubTrajectories(subs[:12], Params{Period: spec.Period, DisableRegionDiscovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := m.NumRegions()
+	far := geom.Pt(80000, 80000)
+	for i, s := range subs[12:] {
+		cp := trajectory.SubTrajectory{Index: s.Index, Points: append([]geom.Point(nil), s.Points...)}
+		for off := 5; off < 12; off++ {
+			cp.Points[off] = geom.Pt(far.X+float64(i), far.Y)
+		}
+		res, err := m.Extend([]trajectory.SubTrajectory{cp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UnmatchedPoints == 0 {
+			t.Fatal("novel points not counted as unmatched")
+		}
+		if res.NewRegions != 0 {
+			t.Fatal("region minted with discovery disabled")
+		}
+	}
+	if m.NumRegions() != regions {
+		t.Fatalf("region set changed: %d -> %d", regions, m.NumRegions())
+	}
+}
+
+// BenchmarkExtend measures the per-period incremental update cost as
+// history accumulates; with delta mining it must not grow with the number
+// of periods already absorbed.
+func BenchmarkExtend(b *testing.B) {
+	spec := datagen.DefaultSpec(datagen.Bike, 41)
+	spec.Period = 300
+	spec.SubTrajectories = 64
+	subs, err := datagen.Generate(spec).Decompose(spec.Period)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := TrainSubTrajectories(subs[:32], Params{Period: spec.Period})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the miner outside the timed region.
+	if _, err := m.Extend(subs[32:33]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day := subs[33+i%(len(subs)-33)]
+		if _, err := m.Extend([]trajectory.SubTrajectory{day}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

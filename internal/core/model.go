@@ -13,7 +13,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 
 	"hpm/internal/geom"
 	"hpm/internal/hpa"
@@ -68,6 +67,18 @@ type Params struct {
 	// SubTrajectories caps how many leading sub-trajectories train the
 	// model; <= 0 uses all. The accuracy experiments sweep this.
 	SubTrajectories int
+	// HistoryWindow bounds support counting to the most recent periods:
+	// when positive, Extend retires sub-trajectories older than the
+	// window — their visitor bits clear, supports shrink, and patterns
+	// demote or re-weigh accordingly — so model state tracks a sliding
+	// window instead of all history. 0 keeps history unbounded (the
+	// paper's setting).
+	HistoryWindow int
+	// DisableRegionDiscovery keeps the frequent-region set fixed during
+	// Extend, exactly as the paper specifies: points matching no region
+	// are counted in ExtendResult but never mint new regions. Exact
+	// model-equivalence tests and ablations set it.
+	DisableRegionDiscovery bool
 	// DistantThreshold (d), TimeRelaxation (tε) and Weight configure the
 	// HPA; zero values default to d=60, tε=2, linear weights.
 	DistantThreshold int
@@ -144,6 +155,25 @@ type Model struct {
 	encoder  *pattern.Encoder
 	engine   *hpa.Engine
 	bounds   geom.Rect
+
+	// Incremental-training state (see extend.go). The miner is built
+	// lazily on the first Extend — batch training and deserialization
+	// leave it nil — and from then on tracks per-itemset support so
+	// update cost scales with new data, not history.
+	miner *pattern.IncrementalMiner
+	// refs maps a live pattern's identity to its engine ref, so deltas
+	// from the miner translate into index mutations.
+	refs map[pattern.IdentityKey]int
+	// outliers buffers points no frequent region matched, per offset,
+	// until enough accumulate to mint a new region. Each buffer is capped
+	// (oldest evicted first) so the per-Extend discovery scan stays O(1)
+	// in history; dirty marks the offsets that gained points this update,
+	// the only ones a scan could newly cluster.
+	outliers map[int][]pattern.UnmatchedPoint
+	dirty    map[int]bool
+	// retiredBelow is the sliding-window watermark: sub-trajectories
+	// with index < retiredBelow no longer count toward supports.
+	retiredBelow int
 }
 
 // Train builds a model from a movement history. The trajectory must span at
@@ -257,77 +287,6 @@ func trainingBounds(subs []trajectory.SubTrajectory, n, workers int) geom.Rect {
 	return r.Inflate(margin)
 }
 
-// ExtendResult reports what an incremental update changed.
-type ExtendResult struct {
-	// NewPatterns is how many previously unseen patterns were inserted
-	// into the TPT.
-	NewPatterns int
-	// SkippedPatterns is how many new patterns could not be encoded
-	// because their consequence offset is absent from the fixed
-	// consequence-key table (retrain to include them).
-	SkippedPatterns int
-	// TotalPatterns is the pattern count after the update.
-	TotalPatterns int
-}
-
-// Extend absorbs newly accumulated sub-trajectories without retraining
-// (§V-B dynamic data): the new days are assigned to the existing frequent
-// regions, patterns are re-mined over the extended history, and patterns
-// not yet indexed are added to the TPT with the insertion algorithm.
-//
-// The frequent-region set and the consequence-key table stay fixed — the
-// paper builds them once from the historical data — so movement through
-// previously unseen areas only influences the model after a full retrain.
-// Confidences of already-indexed patterns are likewise left as mined
-// originally; call Train again for a full refresh.
-func (m *Model) Extend(subs []trajectory.SubTrajectory) (ExtendResult, error) {
-	var res ExtendResult
-	if len(subs) == 0 {
-		res.TotalPatterns = len(m.patterns)
-		return res, nil
-	}
-	for _, s := range subs {
-		if len(s.Points) != m.params.Period {
-			return res, fmt.Errorf("core: new sub-trajectory length %d != period %d", len(s.Points), m.params.Period)
-		}
-	}
-	if err := m.regions.Absorb(trajectory.Groups(subs, 0)); err != nil {
-		return res, err
-	}
-	// Re-mine over the extended visitor bitmaps and diff against the
-	// indexed set.
-	mined := pattern.Mine(m.regions, m.params.Mining)
-	seen := make(map[string]bool, len(m.patterns))
-	for _, p := range m.patterns {
-		seen[patternIdentity(p)] = true
-	}
-	var fresh []pattern.Pattern
-	for _, p := range mined {
-		if !seen[patternIdentity(p)] {
-			fresh = append(fresh, p)
-		}
-	}
-	added, skipped := m.engine.AddPatterns(fresh)
-	// The engine owns the canonical pattern slice once inserts begin.
-	m.patterns = m.engine.Patterns()
-	m.stats.Rules = len(m.patterns)
-	res.NewPatterns = added
-	res.SkippedPatterns = skipped
-	res.TotalPatterns = len(m.patterns)
-	return res, nil
-}
-
-// patternIdentity keys a pattern by its premise and consequence (not its
-// confidence) for the incremental diff.
-func patternIdentity(p pattern.Pattern) string {
-	var sb strings.Builder
-	for _, id := range p.Premise {
-		fmt.Fprintf(&sb, "%d,", id)
-	}
-	fmt.Fprintf(&sb, ">%d", p.Consequence)
-	return sb.String()
-}
-
 // Predict answers a predictive query: given the object's recent movements
 // and the absolute query time tq, return the k most probable locations.
 func (m *Model) Predict(recent []trajectory.TimedPoint, tq, k int) ([]hpa.Prediction, error) {
@@ -357,10 +316,14 @@ func (m *Model) PredictFallback(recent []trajectory.TimedPoint, tq int) ([]hpa.P
 // NumRegions returns the number of frequent regions discovered.
 func (m *Model) NumRegions() int { return m.regions.Len() }
 
-// NumPatterns returns the number of trajectory patterns mined.
-func (m *Model) NumPatterns() int { return len(m.patterns) }
+// NumPatterns returns the number of live trajectory patterns: mined ones
+// minus those incremental training has retired.
+func (m *Model) NumPatterns() int { return m.engine.LivePatterns() }
 
-// Patterns returns the mined patterns. Callers must not mutate the slice.
+// Patterns returns the pattern slice indexed by engine refs. It may hold
+// entries Extend has retired — kept so outstanding PatternRef values stay
+// valid; filter with Engine().IsLive for the live set. Callers must not
+// mutate the slice.
 func (m *Model) Patterns() []pattern.Pattern { return m.patterns }
 
 // Regions returns the frequent-region table.

@@ -57,7 +57,9 @@ func (m *Model) Save(w io.Writer) error {
 	if err := m.regions.WriteBinary(bw); err != nil {
 		return err
 	}
-	if err := pattern.WritePatterns(bw, m.patterns); err != nil {
+	// Live patterns only: entries incremental training retired must not
+	// resurrect on Load. Refs renumber on reload; the miner reseeds lazily.
+	if err := pattern.WritePatterns(bw, m.livePatterns()); err != nil {
 		return err
 	}
 	if _, err := bw.WriteString(modelTrailer); err != nil {
@@ -121,6 +123,17 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("core: corrupt stream trailer %q", trailer)
 	}
 	return assemble(params, regions, patterns, bounds)
+}
+
+// livePatterns filters tombstoned entries out of the ref-indexed slice.
+func (m *Model) livePatterns() []pattern.Pattern {
+	out := make([]pattern.Pattern, 0, m.engine.LivePatterns())
+	for ref, p := range m.patterns {
+		if m.engine.IsLive(ref) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // assemble builds a query-ready model from its persistent parts; shared by

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
 		"pruning", "weights", "fallback", "bqp-penalty", "trelax", "tpt-chooseleaf",
-		"eval",
+		"eval", "retrain",
 	}
 	names := Names()
 	have := map[string]bool{}
@@ -225,6 +225,37 @@ func TestEvalQuickShape(t *testing.T) {
 	if hpmErr.Y[last] >= rmfErr.Y[last] {
 		t.Errorf("eval Bike: online error %v not below fallback %v at max horizon",
 			hpmErr.Y[last], rmfErr.Y[last])
+	}
+}
+
+func TestRetrainQuickShape(t *testing.T) {
+	figs := mustRun(t, "retrain")
+	if len(figs) != 2 {
+		t.Fatalf("retrain returned %d figures, want cost + accuracy", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	cost := figs[0]
+	if len(cost.Series) != 3 {
+		t.Fatalf("retrain-cost has %d series, want full/extend/windowed", len(cost.Series))
+	}
+	// Per-update cost: the incremental paths must undercut the full
+	// retrain on average — individual samples are wall-clock noisy, the
+	// means are not.
+	mean := func(s Series) float64 {
+		var sum float64
+		for _, y := range s.Y {
+			sum += y
+		}
+		return sum / float64(len(s.Y))
+	}
+	batch := mean(cost.Series[0])
+	if ext := mean(cost.Series[1]); ext >= batch {
+		t.Errorf("mean extend cost %v not below mean full-retrain cost %v", ext, batch)
+	}
+	if win := mean(cost.Series[2]); win >= batch {
+		t.Errorf("mean windowed-extend cost %v not below mean full-retrain cost %v", win, batch)
 	}
 }
 

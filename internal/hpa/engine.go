@@ -158,9 +158,10 @@ type queryCounters struct {
 // Concurrency: Predict, PredictBatch, PredictRange, ForwardQuery,
 // BackwardQuery, EncodeRecent and Stats are safe for any number of
 // concurrent callers — queries only read the index and bump atomic
-// counters. AddPatterns and ResetStats mutate the engine and must not run
-// concurrently with queries; callers serialize them externally (the store
-// does so under each object's write lock).
+// counters. AddPatterns, InsertPatterns, RemovePattern, UpdatePattern and
+// ResetStats mutate the engine and must not run concurrently with
+// queries; callers serialize them externally (the store does so under
+// each object's write lock).
 type Engine struct {
 	enc      *pattern.Encoder
 	tree     *tpt.Tree
@@ -169,6 +170,13 @@ type Engine struct {
 
 	// consequence offset per pattern, precomputed for BQP scoring.
 	consOffsets []int
+
+	// dead marks retired refs. Retired patterns stay in the slice —
+	// PatternRef values in served predictions and Explain keep indexing
+	// it — but their tree entries are gone, so queries never surface
+	// them. live counts the others.
+	dead []bool
+	live int
 
 	stats queryCounters
 }
@@ -202,7 +210,8 @@ func NewEngine(enc *pattern.Encoder, patterns []pattern.Pattern, cfg Config, tre
 		offsets[i] = enc.RegionTable().Region(p.Consequence).Offset
 	}
 	tree := tpt.BulkLoad(enc.ConsequenceTable().Len(), enc.RegionTable().Len(), items, treeOpts)
-	return &Engine{enc: enc, tree: tree, patterns: patterns, cfg: cfg, consOffsets: offsets}, nil
+	return &Engine{enc: enc, tree: tree, patterns: patterns, cfg: cfg,
+		consOffsets: offsets, dead: make([]bool, len(patterns)), live: len(patterns)}, nil
 }
 
 // Tree exposes the underlying TPT for diagnostics and benchmarks.
@@ -226,6 +235,8 @@ func (e *Engine) AddPatterns(ps []pattern.Pattern) (added, skipped int) {
 		ref := len(e.patterns)
 		e.patterns = append(e.patterns, p)
 		e.consOffsets = append(e.consOffsets, off)
+		e.dead = append(e.dead, false)
+		e.live++
 		e.tree.Insert(tpt.Item{Key: e.enc.Encode(p), Conf: p.Confidence, Ref: ref})
 		added++
 	}

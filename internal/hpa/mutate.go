@@ -1,0 +1,89 @@
+package hpa
+
+import (
+	"hpm/internal/pattern"
+	"hpm/internal/tpt"
+)
+
+// In-place index mutation for incremental training. Unlike AddPatterns —
+// the paper's fixed-table insertion, which skips patterns its key space
+// cannot express — these methods grow the key space on demand and retire
+// patterns delta-Apriori demotes. All of them mutate the engine and must
+// be serialized against queries like AddPatterns (see the Engine doc).
+
+// LivePatterns returns how many indexed patterns are not retired.
+func (e *Engine) LivePatterns() int { return e.live }
+
+// IsLive reports whether ref names a pattern that still answers queries.
+func (e *Engine) IsLive(ref int) bool {
+	return ref >= 0 && ref < len(e.patterns) && !e.dead[ref]
+}
+
+// InsertPatterns indexes newly promoted patterns, growing the consequence
+// table and the tree's key widths as needed — nothing is skipped, unlike
+// AddPatterns. Minted regions and fresh consequence offsets widen keys
+// with high-order zero bits, so existing entries keep their meaning.
+// Returns the refs assigned, aligned with ps.
+func (e *Engine) InsertPatterns(ps []pattern.Pattern) []int {
+	if len(ps) == 0 {
+		return nil
+	}
+	ct := e.enc.ConsequenceTable()
+	rt := e.enc.RegionTable()
+	for _, p := range ps {
+		ct.AddOffset(rt.Region(p.Consequence).Offset)
+	}
+	e.tree.GrowKeys(ct.Len(), rt.Len())
+	refs := make([]int, len(ps))
+	for i, p := range ps {
+		ref := len(e.patterns)
+		e.patterns = append(e.patterns, p)
+		e.consOffsets = append(e.consOffsets, rt.Region(p.Consequence).Offset)
+		e.dead = append(e.dead, false)
+		e.live++
+		e.tree.Insert(tpt.Item{Key: e.enc.Encode(p), Conf: p.Confidence, Ref: ref})
+		refs[i] = ref
+	}
+	return refs
+}
+
+// SyncKeyWidths grows the tree's key widths to match the current region
+// and consequence tables. InsertPatterns does this on its own; call it
+// directly when a region is minted without any pattern promotion, so the
+// wider query keys the encoder now produces still match the tree.
+func (e *Engine) SyncKeyWidths() {
+	e.tree.GrowKeys(e.enc.ConsequenceTable().Len(), e.enc.RegionTable().Len())
+}
+
+// RemovePattern retires the pattern at ref: its tree entry is deleted so
+// no query finds it again, while the slice entry stays so outstanding
+// PatternRef values (served predictions, Explain) remain valid. Returns
+// false when ref is out of range or already retired.
+func (e *Engine) RemovePattern(ref int) bool {
+	if !e.IsLive(ref) {
+		return false
+	}
+	// Encode against the current tables: key widths may have grown since
+	// the pattern was inserted, but grown bits are zero on both sides, so
+	// the encoded key equals the stored (grown) one.
+	if !e.tree.Delete(e.enc.Encode(e.patterns[ref]), ref) {
+		return false
+	}
+	e.dead[ref] = true
+	e.live--
+	return true
+}
+
+// UpdatePattern rewrites the confidence and support of the live pattern
+// at ref. The pattern's itemset — and therefore its key — must be
+// unchanged; only the payload moves. Returns false when ref is not live.
+func (e *Engine) UpdatePattern(ref int, p pattern.Pattern) bool {
+	if !e.IsLive(ref) {
+		return false
+	}
+	if !e.tree.UpdateConf(e.enc.Encode(p), ref, p.Confidence) {
+		return false
+	}
+	e.patterns[ref] = p
+	return true
+}

@@ -45,9 +45,26 @@ func (ct *ConsequenceTable) TimeID(offset int) (id int, ok bool) {
 	return id, ok
 }
 
-// Offsets returns the sorted distinct consequence offsets. Callers must not
-// mutate the slice.
+// Offsets returns the distinct consequence offsets in time-id order.
+// NewConsequenceTable emits them sorted; AddOffset appends, so tables that
+// grew dynamically are no longer sorted. Callers must not mutate the
+// slice.
 func (ct *ConsequenceTable) Offsets() []int { return ct.offsets }
+
+// AddOffset ensures offset has a time id, appending a fresh one when
+// absent — incremental mining can promote rules whose consequence offset
+// no initial pattern reached. Appending keeps existing ids (and therefore
+// existing consequence keys) stable at the cost of the sorted-offsets
+// invariant, which only KeyRange relied on.
+func (ct *ConsequenceTable) AddOffset(offset int) int {
+	if id, ok := ct.ids[offset]; ok {
+		return id
+	}
+	id := len(ct.offsets)
+	ct.offsets = append(ct.offsets, offset)
+	ct.ids[offset] = id
+	return id
+}
 
 // Key returns a consequence key with the bits of all the given offsets that
 // exist in the table. Offsets absent from the table are ignored, which is
@@ -64,13 +81,15 @@ func (ct *ConsequenceTable) Key(offsets ...int) bitkey.Key {
 }
 
 // KeyRange returns a consequence key with every table offset in [lo, hi]
-// set. BQP's window [tq - i*tε, tq + i*tε] maps to exactly this call.
+// set. BQP's window [tq - i*tε, tq + i*tε] maps to exactly this call. The
+// scan is linear: AddOffset appends out of order, and the table never
+// exceeds one entry per period offset.
 func (ct *ConsequenceTable) KeyRange(lo, hi int) bitkey.Key {
 	k := bitkey.New(len(ct.offsets))
-	// offsets is sorted; binary search the window boundaries.
-	start := sort.SearchInts(ct.offsets, lo)
-	for i := start; i < len(ct.offsets) && ct.offsets[i] <= hi; i++ {
-		k.Set(i + 1)
+	for i, off := range ct.offsets {
+		if off >= lo && off <= hi {
+			k.Set(i + 1)
+		}
 	}
 	return k
 }

@@ -20,10 +20,12 @@ type Config struct {
 	// default is 0.3.
 	MinConfidence float64
 	// MaxLength caps the number of regions per pattern, consequence
-	// included. Values <= 0 default to DefaultMaxLength. The paper leaves
-	// pattern length unbounded in principle; in practice Apriori over
-	// period-length transactions needs a cap, and queries only ever match
-	// premises drawn from a short recent-movement window.
+	// included. Values <= 0 default to DefaultMaxLength; values above
+	// MaxIdentityLen clamp to it so every itemset's identity fits a fixed
+	// comparable key. The paper leaves pattern length unbounded in
+	// principle; in practice Apriori over period-length transactions needs
+	// a cap, and queries only ever match premises drawn from a short
+	// recent-movement window.
 	MaxLength int
 	// PremiseSpan caps the offset distance between the first and the last
 	// premise region. Negative means unlimited; 0 defaults to
@@ -67,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxLength <= 0 {
 		c.MaxLength = DefaultMaxLength
 	}
+	if c.MaxLength > MaxIdentityLen {
+		c.MaxLength = MaxIdentityLen
+	}
 	if c.PremiseSpan == 0 {
 		c.PremiseSpan = DefaultPremiseSpan
 	}
@@ -80,7 +85,7 @@ func (c Config) withDefaults() Config {
 // regions with strictly increasing time offsets implying a single
 // consequence region at a later offset, with a confidence.
 type Pattern struct {
-	Premise     []RegionID // ascending time offset (== ascending id)
+	Premise     []RegionID // ascending time offset (== ascending id until regions are minted)
 	Consequence RegionID
 	Confidence  float64
 	Support     int // sub-trajectories exhibiting premise ∧ consequence

@@ -204,24 +204,32 @@ func reachX(fr *FrequentRegion, eps float64) float64 {
 	return r
 }
 
-// buildLocateIndex (re)builds the per-offset query index. Called once at
+// buildLocateIndex (re)builds the per-offset query index. Called at
 // discovery/deserialization time; Absorb only widens visitor bitmaps and
-// supports, never geometry, so the index stays valid afterwards.
+// supports, never geometry, so the index stays valid afterwards —
+// AppendRegion, the one mutation that does add geometry, rebuilds its
+// offset's entry alone.
 func (rt *RegionTable) buildLocateIndex() {
 	rt.locate = make(map[int]*offsetIndex, len(rt.byOffset))
-	for off, regions := range rt.byOffset {
-		ix := &offsetIndex{byX: make([]*FrequentRegion, len(regions))}
-		copy(ix.byX, regions)
-		sort.SliceStable(ix.byX, func(a, b int) bool {
-			return ix.byX[a].Center.X < ix.byX[b].Center.X
-		})
-		for _, fr := range ix.byX {
-			if r := reachX(fr, rt.eps); r > ix.maxReach {
-				ix.maxReach = r
-			}
-		}
-		rt.locate[off] = ix
+	for off := range rt.byOffset {
+		rt.rebuildLocateAt(off)
 	}
+}
+
+// rebuildLocateAt rebuilds one offset's locate entry from byOffset.
+func (rt *RegionTable) rebuildLocateAt(off int) {
+	regions := rt.byOffset[off]
+	ix := &offsetIndex{byX: make([]*FrequentRegion, len(regions))}
+	copy(ix.byX, regions)
+	sort.SliceStable(ix.byX, func(a, b int) bool {
+		return ix.byX[a].Center.X < ix.byX[b].Center.X
+	})
+	for _, fr := range ix.byX {
+		if r := reachX(fr, rt.eps); r > ix.maxReach {
+			ix.maxReach = r
+		}
+	}
+	rt.locate[off] = ix
 }
 
 // Locate maps a location observed at time offset t to the frequent region
@@ -268,43 +276,141 @@ func (rt *RegionTable) Locate(t int, p geom.Point) (*FrequentRegion, bool) {
 	return best, best != nil
 }
 
+// UnmatchedPoint is a new observation no frequent region claimed during
+// Absorb. Buffered per offset, enough of them in one dense spot mint a
+// new region (§V-B dynamic data extended beyond the paper's fixed table).
+type UnmatchedPoint struct {
+	Offset int // time offset within the period
+	Sub    int // global sub-trajectory index (visitor bit - 1)
+	P      geom.Point
+}
+
+// AbsorbResult reports what AbsorbDetailed did with a batch.
+type AbsorbResult struct {
+	// Chains holds, per new sub-trajectory, the regions it visits in
+	// ascending offset order — the transactions delta-Apriori consumes.
+	Chains [][]RegionID
+	// Unmatched are the points no region claimed, in (offset, sub) order.
+	// Before incremental training these were dropped silently.
+	Unmatched []UnmatchedPoint
+}
+
 // Absorb extends the table with newly arrived sub-trajectories (§V-B
 // dynamic data): each new location is assigned to the frequent region it
 // falls in (by Locate), widening every region's visitor bitmap and support
-// accordingly. The region set itself is fixed — locations in previously
-// unseen dense areas stay unassigned until a full retrain, matching the
-// paper's design where the region table is built once from the historical
-// data and the insertion algorithm only adds patterns.
+// accordingly. Locations no region claims are dropped; AbsorbDetailed
+// reports them instead.
 //
-// groups must cover the same offsets as the original discovery, with one
-// point per new sub-trajectory.
+// groups must cover the same offsets as the original discovery, in
+// ascending offset order, with one point per new sub-trajectory.
 func (rt *RegionTable) Absorb(groups []trajectory.Group) error {
+	_, err := rt.AbsorbDetailed(groups)
+	return err
+}
+
+// AbsorbDetailed is Absorb plus the bookkeeping incremental training
+// needs: the region chain of every new sub-trajectory and the points that
+// matched no region.
+func (rt *RegionTable) AbsorbDetailed(groups []trajectory.Group) (AbsorbResult, error) {
+	var res AbsorbResult
 	if len(groups) == 0 {
-		return nil
+		return res, nil
 	}
 	added := len(groups[0].Points)
 	for _, g := range groups {
 		if len(g.Points) != added {
-			return fmt.Errorf("pattern: Absorb group %d has %d points, want %d", g.Offset, len(g.Points), added)
+			return res, fmt.Errorf("pattern: Absorb group %d has %d points, want %d", g.Offset, len(g.Points), added)
 		}
 	}
 	newN := rt.numSubs + added
 	for _, fr := range rt.regions {
 		fr.visitors = fr.visitors.Grown(newN)
 	}
+	res.Chains = make([][]RegionID, added)
 	for _, g := range groups {
 		for j, p := range g.Points {
-			if fr, ok := rt.Locate(g.Offset, p); ok {
-				pos := rt.numSubs + j + 1
-				if !fr.visitors.Bit(pos) {
-					fr.visitors.Set(pos)
-					fr.Support++
-				}
+			fr, ok := rt.Locate(g.Offset, p)
+			if !ok {
+				res.Unmatched = append(res.Unmatched, UnmatchedPoint{Offset: g.Offset, Sub: rt.numSubs + j, P: p})
+				continue
+			}
+			pos := rt.numSubs + j + 1
+			if !fr.visitors.Bit(pos) {
+				fr.visitors.Set(pos)
+				fr.Support++
+				res.Chains[j] = append(res.Chains[j], fr.ID)
 			}
 		}
 	}
 	rt.numSubs = newN
-	return nil
+	return res, nil
+}
+
+// ChainOf reconstructs the region chain of sub-trajectory j — the regions
+// whose visitor bitmaps carry j's bit — in ascending (offset, index)
+// order. Minted regions sit out of id order, so the result is sorted
+// explicitly rather than by id.
+func (rt *RegionTable) ChainOf(j int) []RegionID {
+	var chain []*FrequentRegion
+	for _, fr := range rt.regions {
+		if fr.visitors.Bit(j + 1) {
+			chain = append(chain, fr)
+		}
+	}
+	sort.SliceStable(chain, func(a, b int) bool {
+		if chain[a].Offset != chain[b].Offset {
+			return chain[a].Offset < chain[b].Offset
+		}
+		return chain[a].Index < chain[b].Index
+	})
+	ids := make([]RegionID, len(chain))
+	for i, fr := range chain {
+		ids[i] = fr.ID
+	}
+	return ids
+}
+
+// ClearSub retires sub-trajectory j: its visitor bit leaves every region,
+// shrinking supports. The bit position stays allocated — bitmap widths
+// only grow — so callers track which positions are retired.
+func (rt *RegionTable) ClearSub(j int) {
+	for _, fr := range rt.regions {
+		if fr.visitors.Bit(j + 1) {
+			fr.visitors.Clear(j + 1)
+			fr.Support--
+		}
+	}
+}
+
+// AppendRegion mints a frequent region discovered after the initial
+// build, from buffered unmatched points that turned out to be dense. The
+// new region takes the next dense id — appended, so ids are no longer
+// globally sorted by offset — and the next ordinal index at its offset.
+// visitorSubs lists the sub-trajectory indices whose points form the
+// region (duplicates collapse). The offset's locate index is rebuilt so
+// later points can land in the new region.
+func (rt *RegionTable) AppendRegion(offset int, pts []geom.Point, visitorSubs []int) *FrequentRegion {
+	visitors := bitkey.New(rt.numSubs)
+	support := 0
+	for _, j := range visitorSubs {
+		if !visitors.Bit(j + 1) {
+			visitors.Set(j + 1)
+			support++
+		}
+	}
+	fr := &FrequentRegion{
+		ID:       RegionID(len(rt.regions)),
+		Offset:   offset,
+		Index:    len(rt.byOffset[offset]),
+		Center:   geom.Centroid(pts),
+		MBR:      geom.RectFromPoints(pts),
+		Support:  support,
+		visitors: visitors,
+	}
+	rt.regions = append(rt.regions, fr)
+	rt.byOffset[offset] = append(rt.byOffset[offset], fr)
+	rt.rebuildLocateAt(offset)
+	return fr
 }
 
 // RegionKey returns the §V-A region key of a frequent region: an l_p-bit

@@ -1,0 +1,118 @@
+package tpt
+
+import (
+	"fmt"
+
+	"hpm/internal/bitkey"
+)
+
+// In-place mutation beyond Insert: retiring a pattern whose support or
+// confidence fell (delta-Apriori demotion), rewriting a confidence, and
+// widening every key when minted regions or new consequence offsets grow
+// the key space. §V-B only specifies insertion; deletion follows the
+// signature-tree shape — descend containing entries, tighten union keys
+// on the way back up.
+//
+// Deletion tolerates node underflow: a leaf may drop below the minimum
+// fill without triggering re-insertion. Search stays correct (union keys
+// are tightened), only packing quality degrades — and the periodic batch
+// rebuild that backstops incremental training restores it.
+
+// Delete removes the item with the given key and ref, returning false
+// when no such item is indexed. Key lengths must match the tree's.
+func (t *Tree) Delete(key bitkey.PatternKey, ref int) bool {
+	t.checkKey(key)
+	if !t.deleteIn(t.root, key, ref) {
+		return false
+	}
+	t.size--
+	// A single-entry internal root adds a level no search needs.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	return true
+}
+
+func (t *Tree) deleteIn(n *node, key bitkey.PatternKey, ref int) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.Ref == ref && e.key.Equal(key) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, e := range n.entries {
+		// A union key contains every key below it, so subtrees whose
+		// entry does not contain the target cannot hold it.
+		if !e.key.Contains(key) {
+			continue
+		}
+		if t.deleteIn(e.child, key, ref) {
+			if len(e.child.entries) == 0 {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			} else {
+				n.entries[i].key = unionOf(e.child)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// UpdateConf rewrites the confidence of the item with the given key and
+// ref. Confidence is payload, not part of the key, so the tree shape and
+// every union key stay untouched. Returns false when the item is absent.
+func (t *Tree) UpdateConf(key bitkey.PatternKey, ref int, conf float64) bool {
+	t.checkKey(key)
+	return t.updateConfIn(t.root, key, ref, conf)
+}
+
+func (t *Tree) updateConfIn(n *node, key bitkey.PatternKey, ref int, conf float64) bool {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.Ref == ref && e.key.Equal(key) {
+				n.entries[i].item.Conf = conf
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range n.entries {
+		if e.key.Contains(key) && t.updateConfIn(e.child, key, ref, conf) {
+			return true
+		}
+	}
+	return false
+}
+
+// GrowKeys widens every key in the tree to the given lengths. Grown bits
+// are high-order zeros — existing bit positions keep their meaning — so
+// search results for already-indexed patterns are unchanged; the tree
+// merely becomes able to hold keys mentioning newly minted regions or
+// consequence offsets. Shrinking panics.
+func (t *Tree) GrowKeys(ckLen, rkLen int) {
+	if ckLen < t.ckLen || rkLen < t.rkLen {
+		panic(fmt.Sprintf("tpt: GrowKeys (%d,%d) would shrink tree keys (%d,%d)",
+			ckLen, rkLen, t.ckLen, t.rkLen))
+	}
+	if ckLen == t.ckLen && rkLen == t.rkLen {
+		return
+	}
+	var rec func(n *node)
+	rec = func(n *node) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			e.key = bitkey.PatternKey{CK: e.key.CK.Grown(ckLen), RK: e.key.RK.Grown(rkLen)}
+			if n.leaf {
+				e.item.Key = e.key
+			} else {
+				rec(e.child)
+			}
+		}
+	}
+	rec(t.root)
+	t.ckLen, t.rkLen = ckLen, rkLen
+}

@@ -33,6 +33,13 @@ func handleMetrics(st *store.Store, w http.ResponseWriter, _ *http.Request) {
 	counter("hpm_train_failures_total", "Failed background train attempts since start.", fs.TrainFailures)
 	counter("hpm_drift_retrains_total", "Retrains triggered early by the drift EWMA.", fs.DriftRetrains)
 
+	// Model-update cost by path: full batch trains vs incremental extends.
+	// rate(duration)/rate(count) is the live per-update cost each path pays.
+	counter("hpm_trains_total", "Full model (re)train attempts.", fs.Trains)
+	counter("hpm_extends_total", "Incremental model updates (Extends).", fs.Extends)
+	counter("hpm_train_duration_seconds_total", "Cumulative wall-clock seconds spent in full trains.", fs.TrainSeconds)
+	counter("hpm_extend_duration_seconds_total", "Cumulative wall-clock seconds spent in incremental extends.", fs.ExtendSeconds)
+
 	counter("hpm_wal_records_total", "Observation records appended to the write-ahead log.", fs.WAL.Records)
 	counter("hpm_wal_batches_total", "WAL group commits (file writes).", fs.WAL.Batches)
 	counter("hpm_wal_fsyncs_total", "WAL fsyncs issued.", fs.WAL.Fsyncs)

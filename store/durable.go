@@ -165,7 +165,9 @@ func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 	defer obj.ingestMu.Unlock()
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
-	have := len(obj.track)
+	// Offsets are absolute timestamps; a retention-trimmed track compares
+	// against base + length, the timestamp its next point will take.
+	have := obj.base + len(obj.track)
 	if rec.offset > have {
 		if preTombstone {
 			return nil // erased by the id's later tombstone regardless

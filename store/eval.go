@@ -56,7 +56,7 @@ func (s *Store) scoreLocked(obj *object, base int, pts []hpm.Point) {
 		// will absorb the new data when it swaps in.
 		return
 	}
-	completed := len(obj.track) / s.opts.Config.Period
+	completed := (obj.base + len(obj.track)) / s.opts.Config.Period
 	if completed < s.opts.MinTrainPeriods {
 		return
 	}
@@ -67,6 +67,15 @@ func (s *Store) scoreLocked(obj *object, base int, pts []hpm.Point) {
 	s.driftRetrains.Add(1)
 	// Synchronous-training failures already land in the object's stats;
 	// an ingest should not fail because a quality-driven retrain did.
+	if s.opts.IncrementalRetrain {
+		// The model may merely be stale: absorb the pending periods through
+		// the incremental path first. A model that drifts while already
+		// current gets the batch rebuild — the divergence backstop.
+		if newPeriods := completed - obj.modeled; newPeriods > 0 {
+			_ = s.extendLocked(obj, completed, newPeriods)
+			return
+		}
+	}
 	_ = s.startTrain(obj, completed)
 }
 
@@ -102,7 +111,7 @@ func (s *Store) PredictFallback(id string, tq int) ([]hpm.Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	now := len(obj.track) - 1
+	now := obj.base + len(obj.track) - 1
 	preds, err := obj.predictor.PredictFallback(recent, tq)
 	s.recordPrediction(obj, now, tq, preds, err)
 	return preds, err
@@ -138,6 +147,14 @@ type FleetStats struct {
 	PendingTrains int    `json:"pendingTrains"`
 	TrainFailures uint64 `json:"trainFailures"`
 	DriftRetrains uint64 `json:"driftRetrains"`
+	// Trains and Extends count model updates by path since start (every
+	// train attempt counts); TrainSeconds and ExtendSeconds are the
+	// cumulative wall-clock each path consumed — the live view of the
+	// batch-vs-incremental retrain cost.
+	Trains        uint64  `json:"trains"`
+	Extends       uint64  `json:"extends"`
+	TrainSeconds  float64 `json:"trainSeconds"`
+	ExtendSeconds float64 `json:"extendSeconds"`
 	WAL           WALStats
 	// Queries sums every object's query counters, including counters
 	// banked from predictors retired by retrains.
@@ -176,6 +193,10 @@ func (s *Store) FleetStats() FleetStats {
 	fs.Eval = evalq.Summarize(s.opts.Eval, agg)
 	fs.WAL = s.WALStats()
 	fs.DriftRetrains = s.driftRetrains.Load()
+	fs.Trains = s.trains.Load()
+	fs.Extends = s.extends.Load()
+	fs.TrainSeconds = float64(s.trainNanos.Load()) / 1e9
+	fs.ExtendSeconds = float64(s.extendNanos.Load()) / 1e9
 	s.trainMu.Lock()
 	fs.PendingTrains = s.pending
 	fs.TrainFailures = s.errTotal

@@ -17,8 +17,11 @@ import (
 // length-prefixed record per object.
 
 const (
-	snapshotMagic   = "HPMS"
-	snapshotVersion = 1
+	snapshotMagic = "HPMS"
+	// snapshotVersion 2 added the per-object track base — the absolute
+	// timestamp of track[0], nonzero once the retention policy trims
+	// history. Version-1 snapshots load with base 0.
+	snapshotVersion = 2
 )
 
 // Save writes a snapshot of the whole store. Concurrent Observe calls are
@@ -56,6 +59,7 @@ func (s *Store) Save(w io.Writer) error {
 
 func writeObject(bw *bufio.Writer, id string, obj *object) error {
 	writeBytes(bw, []byte(id))
+	writeUvarint(bw, uint64(obj.base))
 	writeUvarint(bw, uint64(len(obj.track)))
 	var fb [8]byte
 	for _, p := range obj.track {
@@ -87,8 +91,9 @@ func Load(r io.Reader) (*Store, error) {
 	if string(head[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, fmt.Errorf("store: not a snapshot (magic %q)", head[:len(snapshotMagic)])
 	}
-	if head[len(snapshotMagic)] != snapshotVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d", head[len(snapshotMagic)])
+	version := int(head[len(snapshotMagic)])
+	if version < 1 || version > snapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", version)
 	}
 	oj, err := readBytes(br, 1<<20)
 	if err != nil {
@@ -111,7 +116,7 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("store: implausible object count %d", count)
 	}
 	for i := uint64(0); i < count; i++ {
-		if err := readObject(br, s); err != nil {
+		if err := readObject(br, s, version); err != nil {
 			// A Save racing Remove can legitimately write fewer records
 			// than counted; only clean EOF at a record boundary is fine.
 			if err == io.EOF {
@@ -123,10 +128,16 @@ func Load(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-func readObject(br *bufio.Reader, s *Store) error {
+func readObject(br *bufio.Reader, s *Store, version int) error {
 	idb, err := readBytes(br, 4096)
 	if err != nil {
 		return err
+	}
+	var base uint64
+	if version >= 2 {
+		if base, err = binary.ReadUvarint(br); err != nil {
+			return fmt.Errorf("store: read track base: %w", err)
+		}
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -159,6 +170,7 @@ func readObject(br *bufio.Reader, s *Store) error {
 		return fmt.Errorf("store: read trained flag: %w", err)
 	}
 	obj := s.newObject()
+	obj.base = int(base)
 	obj.track = track
 	obj.modeled = int(modeled)
 	obj.sinceRetrain = int(sinceRetrain)

@@ -41,8 +41,30 @@ type Options struct {
 	ExtendEvery int
 	// RetrainEvery fully retrains a model after this many newly completed
 	// periods, refreshing regions and key tables. 0 disables periodic
-	// retraining (incremental updates only).
+	// retraining (incremental updates only). Ignored under
+	// IncrementalRetrain, where Extend keeps the model fresh and
+	// RebuildEvery is the batch backstop.
 	RetrainEvery int
+	// IncrementalRetrain makes the incremental path the retrain mechanism:
+	// instead of periodically re-mining the whole history, every update
+	// flows through Extend — delta mining re-evaluates only the patterns
+	// the new periods touch, mints regions from unmatched points, and
+	// retires expired history — so per-update cost tracks the new data,
+	// not the track length. RetrainEvery is ignored; set RebuildEvery to
+	// keep an occasional full rebuild as a divergence backstop.
+	IncrementalRetrain bool
+	// RebuildEvery, under IncrementalRetrain, fully retrains a model
+	// after this many newly completed periods — a batch backstop that
+	// restores index packing and refreshes region geometry. 0 disables
+	// periodic rebuilds.
+	RebuildEvery int
+	// RetainPeriods bounds per-object history to a sliding window: the
+	// model retires periods older than the window (Config.RetainPeriods)
+	// and the store trims the object's track to match, so memory stays
+	// flat on endless streams. Trims are period-aligned, never pass the
+	// modeled boundary, and always keep at least MaxRecent points. 0
+	// keeps everything.
+	RetainPeriods int
 	// MaxRecent is the recent-movement window handed to queries. Values
 	// <= 0 default to DefaultMaxRecent.
 	MaxRecent int
@@ -167,6 +189,12 @@ func (o Options) withDefaults() Options {
 		o.AdaptiveMinSamples = DefaultAdaptiveMinSamples
 	}
 	o.Config.SubTrajectories = 0
+	// The store-level retention window and the model-level history window
+	// are one policy: whichever is set propagates to the other.
+	if o.RetainPeriods <= 0 {
+		o.RetainPeriods = o.Config.RetainPeriods
+	}
+	o.Config.RetainPeriods = o.RetainPeriods
 	return o
 }
 
@@ -231,6 +259,14 @@ type Store struct {
 	// EWMA (Options.DriftThreshold), for FleetStats and /metrics.
 	driftRetrains atomic.Uint64
 
+	// Model-update telemetry for FleetStats and /metrics: how many full
+	// trains and incremental extends ran (every train attempt counts),
+	// and the cumulative wall-clock nanoseconds each path consumed.
+	trains      atomic.Uint64
+	trainNanos  atomic.Uint64
+	extends     atomic.Uint64
+	extendNanos atomic.Uint64
+
 	// faults, when set, is consulted at durability and training fault
 	// points so tests can inject deterministic failures.
 	faults atomic.Pointer[faultinject.Hook]
@@ -263,6 +299,12 @@ type object struct {
 	mu        sync.RWMutex
 	track     []hpm.Point
 	predictor *hpm.Predictor
+	// base is the absolute timestamp of track[0]. It stays 0 until the
+	// retention policy (Options.RetainPeriods) trims the track's head;
+	// from then on every externally visible timestamp — WAL offsets,
+	// query windows, eval scoring, Now — is base + track index. Trims
+	// keep base period-aligned so training windows stay in phase.
+	base int
 	// modeled is how many leading periods of track the predictor has seen
 	// (via Train or Extend).
 	modeled int
@@ -285,6 +327,11 @@ type object struct {
 	eval *evalq.Tracker
 	// driftRetrains counts retrains triggered by the drift EWMA.
 	driftRetrains int
+	// Cumulative incremental-update counters across the object's Extends,
+	// surfaced by Stats.
+	unmatchedPts    int
+	retiredPatterns int
+	mintedRegions   int
 	// removed marks an object deleted by Remove; guarded by ingestMu. An
 	// observer that raced Remove and still holds this pointer must drop
 	// it and re-create through the shard map, or its WAL records would
@@ -403,13 +450,13 @@ func (s *Store) observeLocked(obj *object, id string, locs []hpm.Point) error {
 	if s.wal != nil {
 		// Track mutation requires ingestMu, so the offset read is stable
 		// without obj.mu and stays the track length until we apply below.
-		if err := s.walAppend(id, len(obj.track), locs); err != nil {
+		if err := s.walAppend(id, obj.base+len(obj.track), locs); err != nil {
 			return err // not acknowledged: the track is untouched
 		}
 	}
 	obj.mu.Lock()
 	defer obj.mu.Unlock()
-	base := len(obj.track)
+	base := obj.base + len(obj.track)
 	obj.track = append(obj.track, locs...)
 	if obj.eval != nil {
 		s.scoreLocked(obj, base, locs)
@@ -501,7 +548,7 @@ acquire:
 	if s.wal != nil {
 		recs := make([]walRecord, len(groups))
 		for i, g := range groups {
-			recs[i] = walRecord{id: g.id, offset: len(g.obj.track), pts: g.pts}
+			recs[i] = walRecord{id: g.id, offset: g.obj.base + len(g.obj.track), pts: g.pts}
 		}
 		if err := s.walAppendAll(recs); err != nil {
 			return err // nothing acknowledged: no track was touched
@@ -510,7 +557,7 @@ acquire:
 	var errs []error
 	for _, g := range groups {
 		g.obj.mu.Lock()
-		base := len(g.obj.track)
+		base := g.obj.base + len(g.obj.track)
 		g.obj.track = append(g.obj.track, g.pts...)
 		if g.obj.eval != nil {
 			s.scoreLocked(g.obj, base, g.pts)
@@ -564,7 +611,7 @@ func (s *Store) maybeUpdate(obj *object) error {
 		return nil
 	}
 	period := s.opts.Config.Period
-	completed := len(obj.track) / period
+	completed := (obj.base + len(obj.track)) / period
 
 	if obj.predictor == nil {
 		if completed < s.opts.MinTrainPeriods {
@@ -576,19 +623,68 @@ func (s *Store) maybeUpdate(obj *object) error {
 	if newPeriods <= 0 {
 		return nil
 	}
-	if s.opts.RetrainEvery > 0 && obj.sinceRetrain+newPeriods >= s.opts.RetrainEvery {
+	if s.opts.IncrementalRetrain {
+		// The incremental path keeps the model fresh; only the periodic
+		// batch rebuild — the divergence and index-packing backstop — goes
+		// through a full train.
+		if s.opts.RebuildEvery > 0 && obj.sinceRetrain+newPeriods >= s.opts.RebuildEvery {
+			return s.startTrain(obj, completed)
+		}
+	} else if s.opts.RetrainEvery > 0 && obj.sinceRetrain+newPeriods >= s.opts.RetrainEvery {
 		return s.startTrain(obj, completed)
 	}
 	if newPeriods < s.opts.ExtendEvery {
 		return nil
 	}
-	_, err := obj.predictor.Extend(obj.track[obj.modeled*period : completed*period])
+	return s.extendLocked(obj, completed, newPeriods)
+}
+
+// extendLocked absorbs the newly completed periods through the model's
+// incremental path, banking duration and delta counters, then applies the
+// retention trim. Called with obj.mu held.
+func (s *Store) extendLocked(obj *object, completed, newPeriods int) error {
+	period := s.opts.Config.Period
+	start := time.Now()
+	res, err := obj.predictor.Extend(obj.track[obj.modeled*period-obj.base : completed*period-obj.base])
+	s.extendNanos.Add(uint64(time.Since(start)))
+	s.extends.Add(1)
 	if err != nil {
 		return fmt.Errorf("store: extend: %w", err)
 	}
+	obj.unmatchedPts += res.UnmatchedPoints
+	obj.retiredPatterns += res.RetiredPatterns
+	obj.mintedRegions += res.NewRegions
 	obj.sinceRetrain += newPeriods
 	obj.modeled = completed
+	s.trimLocked(obj)
 	return nil
+}
+
+// trimLocked drops track head the retention policy no longer needs. The
+// cut stays period-aligned (training windows keep phase), never passes the
+// modeled boundary (unmodeled points must survive to be trained), and
+// keeps at least MaxRecent points for query windows. The tail is copied to
+// a fresh slice so the old backing array is actually freed. Called with
+// obj.mu held.
+func (s *Store) trimLocked(obj *object) {
+	w := s.opts.RetainPeriods
+	if w <= 0 {
+		return
+	}
+	period := s.opts.Config.Period
+	cut := ((obj.base+len(obj.track))/period - w) * period
+	if m := obj.modeled * period; cut > m {
+		cut = m
+	}
+	if r := obj.base + len(obj.track) - s.opts.MaxRecent; cut > r {
+		cut = r
+	}
+	cut -= cut % period
+	if cut <= obj.base {
+		return
+	}
+	obj.track = append([]hpm.Point(nil), obj.track[cut-obj.base:]...)
+	obj.base = cut
 }
 
 // startTrain dispatches a full (re)train of obj's first completed periods:
@@ -606,7 +702,7 @@ func (s *Store) startTrain(obj *object, completed int) error {
 // without retries (SynchronousTraining callers get the error directly).
 // Called with obj.mu held.
 func (s *Store) train(obj *object, completed int) error {
-	p, err := s.trainGuarded(obj.track[:completed*s.opts.Config.Period])
+	p, err := s.trainGuarded(obj.track[:completed*s.opts.Config.Period-obj.base])
 	if err != nil {
 		err = fmt.Errorf("store: train: %w", err)
 		obj.trainFails++
@@ -615,6 +711,7 @@ func (s *Store) train(obj *object, completed int) error {
 	}
 	obj.lastTrainErr = nil
 	obj.swapPredictor(p, completed)
+	s.trimLocked(obj)
 	return nil
 }
 
@@ -635,7 +732,11 @@ func (s *Store) trainGuarded(pts []hpm.Point) (p *hpm.Predictor, err error) {
 	if err := s.fault(faultinject.OpTrain); err != nil {
 		return nil, err
 	}
-	return hpm.TrainPoints(pts, s.opts.Config)
+	start := time.Now()
+	p, err = hpm.TrainPoints(pts, s.opts.Config)
+	s.trainNanos.Add(uint64(time.Since(start)))
+	s.trains.Add(1)
+	return p, err
 }
 
 // swapPredictor installs a freshly trained predictor, banking the retired
@@ -665,7 +766,7 @@ func (s *Store) scheduleTrain(obj *object, completed int) {
 	obj.training = true
 	// Snapshot: the track keeps growing under obj.mu while the trainer
 	// runs, so the trainer must own its input.
-	pts := append([]hpm.Point(nil), obj.track[:completed*s.opts.Config.Period]...)
+	pts := append([]hpm.Point(nil), obj.track[:completed*s.opts.Config.Period-obj.base]...)
 	go s.runTrain(obj, pts, completed)
 }
 
@@ -710,6 +811,7 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 	if err == nil {
 		obj.lastTrainErr = nil
 		obj.swapPredictor(p, completed)
+		s.trimLocked(obj)
 		// Catch up: extend (or re-schedule a retrain) over periods that
 		// completed while this train was running.
 		if uerr := s.maybeUpdate(obj); uerr != nil {
@@ -802,7 +904,7 @@ func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
-	now := len(obj.track) - 1
+	now := obj.base + len(obj.track) - 1
 	if s.routeToFallback(obj, now, tq) {
 		preds, err := obj.predictor.PredictFallback(recent, tq)
 		s.recordPrediction(obj, now, tq, preds, err)
@@ -847,7 +949,7 @@ func (s *Store) PredictBatch(id string, tqs []int, k int) ([][]hpm.Prediction, e
 	}
 	out, err := obj.predictor.PredictBatch(recent, tqs, k)
 	if err == nil && obj.eval != nil {
-		now := len(obj.track) - 1
+		now := obj.base + len(obj.track) - 1
 		for i, preds := range out {
 			s.recordPrediction(obj, now, tqs[i], preds, nil)
 		}
@@ -867,7 +969,7 @@ func (s *Store) recentLocked(obj *object) ([]hpm.TimedPoint, error) {
 	}
 	recent := make([]hpm.TimedPoint, 0, w)
 	for t := n - w; t < n; t++ {
-		recent = append(recent, hpm.TimedPoint{T: t, Loc: obj.track[t]})
+		recent = append(recent, hpm.TimedPoint{T: obj.base + t, Loc: obj.track[t]})
 	}
 	return recent, nil
 }
@@ -881,7 +983,7 @@ func (s *Store) Now(id string) (int, error) {
 	}
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
-	return len(obj.track) - 1, nil
+	return obj.base + len(obj.track) - 1, nil
 }
 
 // ObjectStats summarizes one tracked object.
@@ -903,6 +1005,16 @@ type ObjectStats struct {
 	LastTrainError string `json:",omitempty"`
 	// DriftRetrains counts retrains the drift EWMA triggered early.
 	DriftRetrains int
+	// RetainedPoints is how many observations the track currently holds;
+	// with a retention window it trails Points, whose count is absolute.
+	RetainedPoints int
+	// UnmatchedPoints, RetiredPatterns and MintedRegions accumulate the
+	// incremental-update counters across the object's Extends: points no
+	// frequent region matched, patterns demoted out of the index, and
+	// regions minted from outlier buffers.
+	UnmatchedPoints int
+	RetiredPatterns int
+	MintedRegions   int
 	// Queries summarizes the object's query traffic by answering path.
 	Queries hpm.QueryStats
 }
@@ -916,14 +1028,18 @@ func (s *Store) Stats(id string) (ObjectStats, error) {
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
 	st := ObjectStats{
-		ID:            id,
-		Points:        len(obj.track),
-		Periods:       len(obj.track) / s.opts.Config.Period,
-		Training:      obj.training,
-		Modeled:       obj.modeled,
-		TrainFailures: obj.trainFails,
-		DriftRetrains: obj.driftRetrains,
-		Queries:       obj.queries,
+		ID:              id,
+		Points:          obj.base + len(obj.track),
+		Periods:         (obj.base + len(obj.track)) / s.opts.Config.Period,
+		Training:        obj.training,
+		Modeled:         obj.modeled,
+		TrainFailures:   obj.trainFails,
+		DriftRetrains:   obj.driftRetrains,
+		RetainedPoints:  len(obj.track),
+		UnmatchedPoints: obj.unmatchedPts,
+		RetiredPatterns: obj.retiredPatterns,
+		MintedRegions:   obj.mintedRegions,
+		Queries:         obj.queries,
 	}
 	if obj.lastTrainErr != nil {
 		st.LastTrainError = obj.lastTrainErr.Error()
