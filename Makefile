@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain chaos
+.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain bench-fleet chaos
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # the HTTP service, the fault-injection helpers, and the parallel
 # training pipeline.
 race:
-	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
+	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./internal/spatial/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
 
 # Crash-safety suite under the race detector: kill/restart recovery, torn
 # WAL tails, injected WAL/snapshot/train faults, snapshot robustness.
@@ -52,3 +52,10 @@ bench-eval:
 # BENCH_retrain.json.
 bench-retrain:
 	$(GO) run ./cmd/hpmbench -experiment retrain -json
+
+# Fleet-wide predictive queries: indexed vs brute-force range/kNN at
+# 1k/10k/100k objects, the index==scan identity proof, SSE push
+# throughput, and observe-path maintenance overhead. Regenerates
+# BENCH_fleet_query.json.
+bench-fleet:
+	$(GO) run ./cmd/hpmbench -experiment fleetquery -json

@@ -84,6 +84,10 @@ func BenchmarkQueryThroughput(b *testing.B) { benchExperiment(b, "queries") }
 // shard contention, and fleet-batch amortization.
 func BenchmarkIngestThroughput(b *testing.B) { benchExperiment(b, "ingest") }
 
+// Fleet-wide predictive range/kNN queries: spatial index vs brute-force
+// scan, SSE push throughput, and per-observe maintenance overhead.
+func BenchmarkFleetQuery(b *testing.B) { benchExperiment(b, "fleetquery") }
+
 // --- micro-benchmarks -------------------------------------------------
 
 // benchPredictor trains one moderate Bike model for query benches.

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Fleet subcommands: thin clients for a running hpmserve's /query/range and
+// /query/knn endpoints. The server answers from its incrementally
+// maintained spatial index, so these return in microseconds even against
+// fleets of 100k objects.
+
+// fleetResult mirrors serve's fleetResultJSON wire shape.
+type fleetResult struct {
+	ID      string  `json:"id"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Path    string  `json:"path"`
+	Horizon int     `json:"horizon"`
+	Dist    float64 `json:"dist"`
+}
+
+type fleetResponse struct {
+	Horizon int           `json:"horizon"`
+	Results []fleetResult `json:"results"`
+	Error   string        `json:"error"`
+}
+
+func runRange(args []string) {
+	fs := flag.NewFlagSet("hpmquery range", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "localhost:8080", "hpmserve address")
+		minx    = fs.Float64("minx", 0, "rectangle min X")
+		miny    = fs.Float64("miny", 0, "rectangle min Y")
+		maxx    = fs.Float64("maxx", 0, "rectangle max X")
+		maxy    = fs.Float64("maxy", 0, "rectangle max Y")
+		horizon = fs.Int("horizon", 30, "prediction horizon in ticks ahead of each object's latest observation")
+	)
+	fs.Parse(args)
+	q := url.Values{}
+	q.Set("minx", formatFloat(*minx))
+	q.Set("miny", formatFloat(*miny))
+	q.Set("maxx", formatFloat(*maxx))
+	q.Set("maxy", formatFloat(*maxy))
+	q.Set("horizon", strconv.Itoa(*horizon))
+	resp := fleetGet(*addr, "/query/range", q)
+	fmt.Printf("%d objects predicted in [%g,%g]x[%g,%g] at horizon %d (bucket %d):\n",
+		len(resp.Results), *minx, *maxx, *miny, *maxy, *horizon, resp.Horizon)
+	for _, r := range resp.Results {
+		fmt.Printf("  %-16s (%9.2f, %9.2f)  path=%s\n", r.ID, r.X, r.Y, r.Path)
+	}
+}
+
+func runKNN(args []string) {
+	fs := flag.NewFlagSet("hpmquery knn", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "localhost:8080", "hpmserve address")
+		x       = fs.Float64("x", 0, "query point X")
+		y       = fs.Float64("y", 0, "query point Y")
+		k       = fs.Int("k", 3, "number of nearest objects")
+		horizon = fs.Int("horizon", 30, "prediction horizon in ticks ahead of each object's latest observation")
+	)
+	fs.Parse(args)
+	q := url.Values{}
+	q.Set("x", formatFloat(*x))
+	q.Set("y", formatFloat(*y))
+	q.Set("k", strconv.Itoa(*k))
+	q.Set("horizon", strconv.Itoa(*horizon))
+	resp := fleetGet(*addr, "/query/knn", q)
+	fmt.Printf("%d nearest objects to (%g, %g) at horizon %d (bucket %d):\n",
+		len(resp.Results), *x, *y, *horizon, resp.Horizon)
+	for i, r := range resp.Results {
+		fmt.Printf("  #%d %-16s (%9.2f, %9.2f)  dist=%.2f path=%s\n", i+1, r.ID, r.X, r.Y, r.Dist, r.Path)
+	}
+}
+
+func fleetGet(addr, path string, q url.Values) fleetResponse {
+	// Accept both "host:port" and a full "http://host:port" -addr.
+	host, scheme := addr, "http"
+	if u, err := url.Parse(addr); err == nil && u.Scheme != "" && u.Host != "" {
+		host, scheme = u.Host, u.Scheme
+	}
+	u := url.URL{Scheme: scheme, Host: host, Path: path, RawQuery: q.Encode()}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	var body fleetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		fatal(fmt.Errorf("decode response: %w", err))
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := body.Error
+		if msg == "" {
+			msg = resp.Status
+		}
+		if resp.StatusCode == http.StatusNotImplemented {
+			msg += " (start hpmserve with -fleet-index)"
+		}
+		fatal(fmt.Errorf("%s: %s", path, msg))
+	}
+	return body
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

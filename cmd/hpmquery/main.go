@@ -10,6 +10,12 @@
 // The query's recent movements are the -recent samples of the trajectory
 // ending at -tc; the actual location at -tq (when the trajectory covers
 // it) is printed alongside for comparison.
+//
+// Two subcommands query a running hpmserve (started with -fleet-index)
+// across the whole fleet instead of training locally:
+//
+//	hpmquery range -addr localhost:8080 -minx 0 -miny 0 -maxx 500 -maxy 500 -horizon 30
+//	hpmquery knn   -addr localhost:8080 -x 120 -y 88 -k 5 -horizon 30
 package main
 
 import (
@@ -21,6 +27,20 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "range":
+			runRange(os.Args[2:])
+			return
+		case "knn":
+			runKNN(os.Args[2:])
+			return
+		}
+	}
+	runLocal()
+}
+
+func runLocal() {
 	var (
 		data    = flag.String("data", "", "trajectory CSV file (t,x,y per row)")
 		period  = flag.Int("period", 300, "pattern period T (0 = auto-detect)")

@@ -13,6 +13,13 @@
 //	curl  localhost:8080/metrics
 //	curl  localhost:8080/readyz
 //
+// With -fleet-index, the store maintains a spatial index over every
+// object's predicted positions, adding fleet-wide predictive queries:
+//
+//	curl 'localhost:8080/query/range?minx=0&miny=0&maxx=500&maxy=500&horizon=30'
+//	curl 'localhost:8080/query/knn?x=120&y=88&k=5&horizon=30'
+//	curl -N 'localhost:8080/subscribe?minx=0&miny=0&maxx=500&maxy=500&horizon=30&interval_ms=1000'
+//
 // With -data-dir, the store is durable: every acknowledged observation is
 // written to a write-ahead log before the HTTP response goes out, atomic
 // snapshots are taken every -snapshot-every (and on shutdown), and a
@@ -42,6 +49,7 @@ import (
 	"time"
 
 	"hpm"
+	"hpm/internal/spatial"
 	"hpm/serve"
 	"hpm/store"
 )
@@ -66,6 +74,12 @@ func main() {
 		evalRing = flag.Int("eval-ring", 0, "outstanding predictions kept per object awaiting truth (0 = default 64)")
 		drift    = flag.Float64("drift-threshold", 0, "mean-error EWMA above which an early retrain fires (0 = drift retraining off)")
 		adaptive = flag.Bool("adaptive-routing", false, "answer via motion fallback when it measurably beats the pattern path at a horizon")
+
+		fleetIndex = flag.Bool("fleet-index", false, "maintain the fleet spatial index: enables /query/range, /query/knn and /subscribe")
+		indexCell  = flag.Float64("index-cell", 50, "fleet-index grid cell size in world units")
+		indexStale = flag.Duration("index-staleness", 0, "hide indexed objects not observed within this window (0 = never)")
+		indexTick  = flag.Float64("index-tick-hz", 0, "ticks per wall-clock second for aging indexed positions between observes (0 = aging off, exact answers)")
+		indexSpeed = flag.Float64("index-max-speed", 0, "per-tick speed clamp for aging drift (0 = half a cell per tick)")
 	)
 	flag.Parse()
 
@@ -90,6 +104,14 @@ func main() {
 	}
 	opts.Eval.HitDistance = *evalHit
 	opts.Eval.RingSize = *evalRing
+	if *fleetIndex {
+		opts.FleetIndex = &spatial.Config{
+			CellSize:  *indexCell,
+			Staleness: *indexStale,
+			TickHz:    *indexTick,
+			MaxSpeed:  *indexSpeed,
+		}
+	}
 	st, err := openStore(*dataDir, *snapshot, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -101,10 +101,13 @@ type Config struct {
 	// BQP ranking (the paper's final form). Disabling it reverts to
 	// Equation 4 — exposed for the ablation bench.
 	PenalizePremise bool
-	// NewMotion builds the fallback motion function; it is invoked once
-	// per query that needs the fallback, matching the paper's cost model
-	// where every RMF call retrains on the recent window. Nil disables the
-	// fallback (pattern-only prediction, used by some ablations).
+	// NewMotion builds the fallback motion function. A fit runs at most
+	// once per distinct recent window — the engine memoizes the last
+	// fitted model and reuses it while the window is unchanged (repeat
+	// Predict calls between observations, fleet-index refreshes), so the
+	// paper's per-query RMF retraining cost is paid only when the window
+	// actually advances. Nil disables the fallback (pattern-only
+	// prediction, used by some ablations).
 	NewMotion func() motion.Function
 }
 
@@ -124,6 +127,7 @@ type QueryStats struct {
 	Fallback     int // answered by the motion function
 	Unanswered   int // no pattern and no (or failed) fallback
 	NodesVisited int // TPT nodes touched across all searches
+	FallbackFits int // motion functions actually fitted (cache misses)
 }
 
 // Add returns the field-wise sum of two counter snapshots — used by callers
@@ -135,6 +139,7 @@ func (s QueryStats) Add(t QueryStats) QueryStats {
 	s.Fallback += t.Fallback
 	s.Unanswered += t.Unanswered
 	s.NodesVisited += t.NodesVisited
+	s.FallbackFits += t.FallbackFits
 	return s
 }
 
@@ -150,6 +155,7 @@ type queryCounters struct {
 	fallback     atomic.Int64
 	unanswered   atomic.Int64
 	nodesVisited atomic.Int64
+	fallbackFits atomic.Int64
 }
 
 // Engine answers predictive queries over a mined pattern set indexed in a
@@ -179,6 +185,28 @@ type Engine struct {
 	live int
 
 	stats queryCounters
+
+	// fitCache memoizes the last fitted fallback motion function, keyed by
+	// the identity of the recent window it was fitted on. Repeated queries
+	// from the same window — per-object Predict traffic between
+	// observations, fleet-index refreshes, batch fan-outs — reuse one
+	// fitted model instead of refitting an identical one. Motion functions
+	// are immutable after Fit (their Predict methods are pure), so a cached
+	// instance is safe to share across concurrent queries; the cache
+	// invalidates itself the moment the window advances.
+	fitCache atomic.Pointer[fittedMotion]
+}
+
+// fittedMotion is one memoized fallback fit. The (t0, tc, n, lastLoc) tuple
+// identifies the recent window: store windows are track suffixes, so the
+// endpoints and length pin the exact point set (lastLoc guards the
+// pathological caller that reuses timestamps with different geometry).
+type fittedMotion struct {
+	t0, tc  int
+	n       int
+	lastLoc geom.Point
+	fn      motion.Function
+	err     error
 }
 
 // queryScratch holds the per-query working buffers — the encoded premise
@@ -271,6 +299,7 @@ func (e *Engine) Stats() QueryStats {
 		Fallback:     int(fb),
 		Unanswered:   int(u),
 		NodesVisited: int(e.stats.nodesVisited.Load()),
+		FallbackFits: int(e.stats.fallbackFits.Load()),
 	}
 }
 
@@ -282,6 +311,7 @@ func (e *Engine) ResetStats() {
 	e.stats.fallback.Store(0)
 	e.stats.unanswered.Store(0)
 	e.stats.nodesVisited.Store(0)
+	e.stats.fallbackFits.Store(0)
 }
 
 // IsDistant reports whether a query from current time tc to query time tq
@@ -423,8 +453,7 @@ func (e *Engine) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) 
 		}
 		if !fitted {
 			fitted = true
-			fn = e.cfg.NewMotion()
-			fnErr = fn.Fit(recent)
+			fn, fnErr = e.fitMotion(recent)
 		}
 		if fnErr != nil {
 			// Degenerate recent window: answer with the last known
@@ -481,8 +510,7 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 		}
 		if !fitted {
 			fitted = true
-			fn = e.cfg.NewMotion()
-			fnErr = fn.Fit(recent)
+			fn, fnErr = e.fitMotion(recent)
 		}
 		if fnErr != nil {
 			return p
@@ -618,12 +646,29 @@ func (e *Engine) consequenceRegion(ref int) *pattern.FrequentRegion {
 	return e.enc.RegionTable().Region(e.patterns[ref].Consequence)
 }
 
+// fitMotion returns a fallback motion function fitted to recent, reusing the
+// cached fit when the window is unchanged. Concurrent misses may both fit
+// (last store wins); the fit counter reports fits actually performed.
+func (e *Engine) fitMotion(recent []trajectory.TimedPoint) (motion.Function, error) {
+	n := len(recent)
+	t0, tc := recent[0].T, recent[n-1].T
+	last := recent[n-1].Loc
+	if c := e.fitCache.Load(); c != nil && c.t0 == t0 && c.tc == tc && c.n == n && c.lastLoc == last {
+		return c.fn, c.err
+	}
+	fn := e.cfg.NewMotion()
+	err := fn.Fit(recent)
+	e.stats.fallbackFits.Add(1)
+	e.fitCache.Store(&fittedMotion{t0: t0, tc: tc, n: n, lastLoc: last, fn: fn, err: err})
+	return fn, err
+}
+
 func (e *Engine) motionFallback(q Query) ([]Prediction, error) {
 	if e.cfg.NewMotion == nil {
 		return nil, nil
 	}
-	fn := e.cfg.NewMotion()
-	if err := fn.Fit(q.Recent); err != nil {
+	fn, err := e.fitMotion(q.Recent)
+	if err != nil {
 		// Degenerate recent window: answer with the last known location
 		// rather than failing the query.
 		return []Prediction{{

@@ -1,0 +1,294 @@
+package spatial
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpm/internal/geom"
+)
+
+func TestBucketHorizon(t *testing.T) {
+	ix := New(Config{CellSize: 100})
+	cases := map[int]int{1: 5, 5: 5, 6: 10, 10: 10, 11: 20, 50: 50, 51: 100, 200: 200, 201: 200, 10000: 200}
+	for h, want := range cases {
+		if got := ix.BucketHorizon(h); got != want {
+			t.Errorf("BucketHorizon(%d) = %d, want %d", h, got, want)
+		}
+	}
+}
+
+// randomIndex fills an index with n objects at one horizon set and returns
+// the ground-truth entries for brute-force comparison.
+func randomIndex(t *testing.T, n int, rng *rand.Rand) (*Index, map[string]map[int]geom.Point) {
+	t.Helper()
+	ix := New(Config{CellSize: 250})
+	truth := make(map[string]map[int]geom.Point, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("obj-%04d", i)
+		entries := make([]Entry, 0, len(ix.Horizons()))
+		truth[id] = make(map[int]geom.Point)
+		for _, h := range ix.Horizons() {
+			p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			entries = append(entries, Entry{Horizon: h, Pos: p, Path: "fallback"})
+			truth[id][h] = p
+		}
+		ix.Update(id, entries)
+	}
+	return ix, truth
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix, truth := randomIndex(t, 500, rng)
+	for trial := 0; trial < 50; trial++ {
+		x, y := rng.Float64()*9000, rng.Float64()*9000
+		r := geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+rng.Float64()*3000, y+rng.Float64()*3000)}
+		h := []int{3, 10, 42, 150, 999}[trial%5]
+		bh := ix.BucketHorizon(h)
+
+		var want []string
+		for id, m := range truth {
+			if r.Contains(m[bh]) {
+				want = append(want, id)
+			}
+		}
+		sort.Strings(want)
+
+		got := ix.Range(r, h)
+		var gotIDs []string
+		for _, res := range got {
+			gotIDs = append(gotIDs, res.ID)
+			if res.Pos != truth[res.ID][bh] {
+				t.Fatalf("trial %d: %s pos %v, want %v", trial, res.ID, res.Pos, truth[res.ID][bh])
+			}
+			if res.Horizon != bh {
+				t.Fatalf("trial %d: horizon %d, want %d", trial, res.Horizon, bh)
+			}
+		}
+		if !equalStrings(gotIDs, want) {
+			t.Fatalf("trial %d: range mismatch: got %d ids, want %d", trial, len(gotIDs), len(want))
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix, truth := randomIndex(t, 400, rng)
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		k := 1 + rng.Intn(20)
+		h := []int{5, 20, 77}[trial%3]
+		bh := ix.BucketHorizon(h)
+
+		type cand struct {
+			id string
+			d  float64
+		}
+		var all []cand
+		for id, m := range truth {
+			all = append(all, cand{id, m[bh].Dist(p)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+
+		got := ix.Nearest(p, k, h)
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i, res := range got {
+			if res.ID != all[i].id {
+				t.Fatalf("trial %d: rank %d = %s (d=%.2f), want %s (d=%.2f)",
+					trial, i, res.ID, res.Dist, all[i].id, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestMoreThanPopulation(t *testing.T) {
+	ix := New(Config{CellSize: 100})
+	ix.Update("a", []Entry{{Horizon: 5, Pos: geom.Pt(10, 10)}})
+	ix.Update("b", []Entry{{Horizon: 5, Pos: geom.Pt(5000, 5000)}})
+	got := ix.Nearest(geom.Pt(0, 0), 10, 5)
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("got %+v, want [a b]", got)
+	}
+	if ix.Nearest(geom.Pt(0, 0), 0, 5) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestRebinRemoveAndStats(t *testing.T) {
+	ix := New(Config{CellSize: 100, Horizons: []int{5, 10}})
+	ix.Update("x", []Entry{{Horizon: 5, Pos: geom.Pt(50, 50)}, {Horizon: 10, Pos: geom.Pt(60, 60)}})
+	st := ix.Stats()
+	if st.Objects != 1 || st.Entries != 2 || st.Rebins != 0 {
+		t.Fatalf("after insert: %+v", st)
+	}
+	// Same cell: in-place overwrite, no rebin.
+	ix.Update("x", []Entry{{Horizon: 5, Pos: geom.Pt(55, 55)}, {Horizon: 10, Pos: geom.Pt(60, 60)}})
+	if st = ix.Stats(); st.Rebins != 0 {
+		t.Fatalf("same-cell update caused rebin: %+v", st)
+	}
+	if got := ix.Range(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}, 5); len(got) != 1 || got[0].Pos != geom.Pt(55, 55) {
+		t.Fatalf("in-place overwrite not visible: %+v", got)
+	}
+	// Cross a cell boundary: one rebin.
+	ix.Update("x", []Entry{{Horizon: 5, Pos: geom.Pt(950, 950)}, {Horizon: 10, Pos: geom.Pt(60, 60)}})
+	if st = ix.Stats(); st.Rebins != 1 {
+		t.Fatalf("boundary crossing: %+v", st)
+	}
+	// A bucket missing from the update is dropped.
+	ix.Update("x", []Entry{{Horizon: 5, Pos: geom.Pt(950, 950)}})
+	if st = ix.Stats(); st.Entries != 1 {
+		t.Fatalf("stale bucket not dropped: %+v", st)
+	}
+	if got := ix.Range(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(100, 100)}, 10); len(got) != 0 {
+		t.Fatalf("ghost entry after bucket drop: %+v", got)
+	}
+	ix.Remove("x")
+	ix.Remove("x") // idempotent
+	if st = ix.Stats(); st.Objects != 0 || st.Entries != 0 {
+		t.Fatalf("after remove: %+v", st)
+	}
+	if got := ix.Range(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}, 5); len(got) != 0 {
+		t.Fatalf("entries survive remove: %+v", got)
+	}
+}
+
+// fakeClock is a settable Config.Now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStalenessExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	ix := New(Config{CellSize: 100, Staleness: 10 * time.Second, Now: clk.now})
+	ix.Update("a", []Entry{{Horizon: 5, Pos: geom.Pt(50, 50)}})
+	whole := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}
+	if got := ix.Range(whole, 5); len(got) != 1 {
+		t.Fatalf("fresh entry missing: %+v", got)
+	}
+	clk.advance(11 * time.Second)
+	if got := ix.Range(whole, 5); len(got) != 0 {
+		t.Fatalf("stale entry still reported: %+v", got)
+	}
+	if got := ix.Nearest(geom.Pt(0, 0), 1, 5); len(got) != 0 {
+		t.Fatalf("stale entry in kNN: %+v", got)
+	}
+	// A refresh revives it.
+	ix.Update("a", []Entry{{Horizon: 5, Pos: geom.Pt(50, 50)}})
+	if got := ix.Range(whole, 5); len(got) != 1 {
+		t.Fatalf("refreshed entry missing: %+v", got)
+	}
+}
+
+func TestAgingExtrapolatesWithClamp(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	ix := New(Config{CellSize: 100, TickHz: 1, MaxSpeed: 10, MaxAgeTicks: 5, Now: clk.now})
+	// Velocity (30,0) is clamped to (10,0).
+	ix.Update("a", []Entry{{Horizon: 5, Pos: geom.Pt(100, 100), Vel: geom.Pt(30, 0)}})
+	whole := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10000, 10000)}
+
+	clk.advance(2 * time.Second) // 2 ticks
+	got := ix.Range(whole, 5)
+	if len(got) != 1 || got[0].Pos.Dist(geom.Pt(120, 100)) > 1e-9 {
+		t.Fatalf("aged pos = %+v, want (120,100)", got)
+	}
+	clk.advance(100 * time.Second) // capped at MaxAgeTicks=5
+	got = ix.Range(whole, 5)
+	if len(got) != 1 || got[0].Pos.Dist(geom.Pt(150, 100)) > 1e-9 {
+		t.Fatalf("age cap ignored: %+v, want (150,100)", got)
+	}
+}
+
+// TestAgedEntryFoundAcrossCellBoundary pins the inflation logic: an entry
+// recorded outside the query rect drifts into it and must still be found.
+func TestAgedEntryFoundAcrossCellBoundary(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	ix := New(Config{CellSize: 100, TickHz: 1, MaxSpeed: 50, MaxAgeTicks: 10, Now: clk.now})
+	ix.Update("a", []Entry{{Horizon: 5, Pos: geom.Pt(95, 50), Vel: geom.Pt(50, 0)}})
+	clk.advance(4 * time.Second) // now at (295, 50), three cells over
+	r := geom.Rect{Min: geom.Pt(250, 0), Max: geom.Pt(350, 100)}
+	got := ix.Range(r, 5)
+	if len(got) != 1 || got[0].Pos.Dist(geom.Pt(295, 50)) > 1e-9 {
+		t.Fatalf("drifted entry lost: %+v", got)
+	}
+	// And kNN sees the aged position too.
+	kn := ix.Nearest(geom.Pt(300, 50), 1, 5)
+	if len(kn) != 1 || kn[0].Dist > 5+1e-9 {
+		t.Fatalf("kNN missed drifted entry: %+v", kn)
+	}
+}
+
+func TestConcurrentUpdateQueryRemove(t *testing.T) {
+	ix := New(Config{CellSize: 200})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !stop.Load(); i++ {
+				id := fmt.Sprintf("o%d-%d", w, i%50)
+				var entries []Entry
+				for _, h := range ix.Horizons() {
+					entries = append(entries, Entry{Horizon: h, Pos: geom.Pt(rng.Float64()*10000, rng.Float64()*10000)})
+				}
+				ix.Update(id, entries)
+				if i%7 == 0 {
+					ix.Remove(id)
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + q)))
+			for !stop.Load() {
+				x, y := rng.Float64()*8000, rng.Float64()*8000
+				ix.Range(geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+2000, y+2000)}, 10)
+				ix.Nearest(geom.Pt(x, y), 5, 50)
+			}
+		}(q)
+	}
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

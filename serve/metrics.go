@@ -40,6 +40,17 @@ func handleMetrics(st *store.Store, w http.ResponseWriter, _ *http.Request) {
 	counter("hpm_train_duration_seconds_total", "Cumulative wall-clock seconds spent in full trains.", fs.TrainSeconds)
 	counter("hpm_extend_duration_seconds_total", "Cumulative wall-clock seconds spent in incremental extends.", fs.ExtendSeconds)
 
+	counter("hpm_fallback_fits_total", "Motion functions actually fitted by fallback queries (cache misses).", fs.Queries.FallbackFits)
+
+	if fs.FleetIndex {
+		gauge("hpm_index_objects", "Objects with cached entries in the fleet spatial index.", fs.Spatial.Objects)
+		gauge("hpm_index_entries", "Cached prediction entries in the fleet spatial index.", fs.Spatial.Entries)
+		counter("hpm_index_updates_total", "Incremental fleet-index refreshes (one per acknowledged observe or swap).", fs.Spatial.Updates)
+		counter("hpm_index_rebins_total", "Fleet-index entries that crossed a grid cell on refresh.", fs.Spatial.Rebins)
+		counter("hpm_index_range_queries_total", "Fleet range queries answered from the index.", fs.Spatial.RangeQueries)
+		counter("hpm_index_knn_queries_total", "Fleet kNN queries answered from the index.", fs.Spatial.KNNQueries)
+	}
+
 	counter("hpm_wal_records_total", "Observation records appended to the write-ahead log.", fs.WAL.Records)
 	counter("hpm_wal_batches_total", "WAL group commits (file writes).", fs.WAL.Batches)
 	counter("hpm_wal_fsyncs_total", "WAL fsyncs issued.", fs.WAL.Fsyncs)

@@ -10,6 +10,9 @@
 //	POST /objects/{id}/predict       {"tqs": [N, ...], "k": K}  (batch; or "horizons")
 //	GET  /objects/{id}/trajectory?from=N&to=M  (predicted path, inclusive)
 //	GET  /objects/{id}/eval          -> online prediction-quality summary
+//	GET  /query/range?minx=&miny=&maxx=&maxy=&horizon=H   predictive range query
+//	GET  /query/knn?x=&y=&k=K&horizon=H                   predictive kNN query
+//	GET  /subscribe?minx=&...&horizon=H&interval_ms=N     SSE push of a range query
 //	GET  /stats                      -> fleet-level counters (JSON)
 //	GET  /metrics                    -> same counters, Prometheus text format
 //	GET  /healthz                    liveness probe
@@ -89,6 +92,18 @@ func Handler(st *store.Store) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, sum)
+	})
+	// Fleet-wide predictive queries against the spatial index (answered
+	// with 501 Not Implemented when the store runs without
+	// Options.FleetIndex).
+	mux.HandleFunc("GET /query/range", func(w http.ResponseWriter, r *http.Request) {
+		handleQueryRange(st, w, r)
+	})
+	mux.HandleFunc("GET /query/knn", func(w http.ResponseWriter, r *http.Request) {
+		handleQueryKNN(st, w, r)
+	})
+	mux.HandleFunc("GET /subscribe", func(w http.ResponseWriter, r *http.Request) {
+		handleSubscribe(st, w, r)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st.FleetStats())
@@ -395,6 +410,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, store.ErrInvalidPoint):
 		status = http.StatusBadRequest
+	case errors.Is(err, store.ErrNoFleetIndex):
+		status = http.StatusNotImplemented
 	default:
 		// Invalid query times and similar caller mistakes read as 400s.
 		status = http.StatusBadRequest

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hpm"
+	"hpm/internal/spatial"
 )
 
 // BenchmarkObserveParallel measures durable ingest under concurrent
@@ -21,6 +22,9 @@ import (
 //     encode, group buffer) from disk latency.
 //   - nosync-1shard: same with a single-shard object table, the
 //     pre-sharding layout; the gap to nosync is shard-lock contention.
+//   - nosync-index: nosync plus the fleet spatial index, so the gap to
+//     nosync is the incremental index maintenance each acknowledged
+//     observe pays (budgeted at a few percent).
 //
 // Writers get distinct ids so the benchmark measures fleet ingest, not
 // one object's ingestMu serialization.
@@ -35,10 +39,12 @@ func BenchmarkObserveParallel(b *testing.B) {
 		name   string
 		noSync bool
 		shards int
+		index  *spatial.Config
 	}{
-		{"sync", false, 0},
-		{"nosync", true, 0},
-		{"nosync-1shard", true, 1},
+		{"sync", false, 0, nil},
+		{"nosync", true, 0, nil},
+		{"nosync-1shard", true, 1, nil},
+		{"nosync-index", true, 0, &spatial.Config{CellSize: 50}},
 	}
 	pts := walPoints(0, 4)
 	for _, m := range modes {
@@ -49,6 +55,7 @@ func BenchmarkObserveParallel(b *testing.B) {
 					MinTrainPeriods: 1 << 20, // never train: measure ingest alone
 					WALNoSync:       m.noSync,
 					Shards:          m.shards,
+					FleetIndex:      m.index,
 				})
 				if err != nil {
 					b.Fatal(err)

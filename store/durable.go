@@ -58,6 +58,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.dir = dir
 	s.opts.WALNoSync = opts.WALNoSync
+	// Like sync policy, the fleet index is process configuration: honoring
+	// the caller's setting lets an operator enable (or drop) the index on
+	// restart of an existing durable store.
+	s.opts.FleetIndex = opts.FleetIndex
+	if err := s.initFleetIndex(); err != nil {
+		return nil, err
+	}
 
 	w, err := openWAL(dir, !opts.WALNoSync)
 	if err != nil {
@@ -70,6 +77,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.replayed = replayed
 	s.recoverModels()
+	s.rebuildIndex()
 	s.wal = w
 	return s, nil
 }

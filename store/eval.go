@@ -3,6 +3,7 @@ package store
 import (
 	"hpm"
 	"hpm/internal/evalq"
+	"hpm/internal/spatial"
 )
 
 // Online prequential evaluation (test-then-train): every prediction a
@@ -160,6 +161,10 @@ type FleetStats struct {
 	// banked from predictors retired by retrains.
 	Queries hpm.QueryStats
 	Eval    evalq.Summary
+	// FleetIndex reports whether the predictive spatial index is enabled;
+	// Spatial is its shape and traffic counters (zero when disabled).
+	FleetIndex bool          `json:"fleetIndex"`
+	Spatial    spatial.Stats `json:"spatial"`
 }
 
 // FleetStats aggregates across every object. Shards are visited one at a
@@ -192,6 +197,10 @@ func (s *Store) FleetStats() FleetStats {
 	}
 	fs.Eval = evalq.Summarize(s.opts.Eval, agg)
 	fs.WAL = s.WALStats()
+	if s.index != nil {
+		fs.FleetIndex = true
+		fs.Spatial = s.index.Stats()
+	}
 	fs.DriftRetrains = s.driftRetrains.Load()
 	fs.Trains = s.trains.Load()
 	fs.Extends = s.extends.Load()

@@ -125,6 +125,9 @@ func Load(r io.Reader) (*Store, error) {
 			return nil, err
 		}
 	}
+	// Tracks and models were restored without passing through the observe
+	// path; recompute the fleet index from the recovered state.
+	s.rebuildIndex()
 	return s, nil
 }
 
@@ -169,7 +172,7 @@ func readObject(br *bufio.Reader, s *Store, version int) error {
 	if err != nil {
 		return fmt.Errorf("store: read trained flag: %w", err)
 	}
-	obj := s.newObject()
+	obj := s.newObject(string(idb))
 	obj.base = int(base)
 	obj.track = track
 	obj.modeled = int(modeled)

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hpm"
+	"hpm/internal/spatial"
+)
+
+func rct(x0, y0, x1, y1 float64) hpm.Rect {
+	return hpm.Rect{Min: hpm.Pt(x0, y0), Max: hpm.Pt(x1, y1)}
+}
+
+func fleetStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.FleetIndex == nil {
+		opts.FleetIndex = &spatial.Config{CellSize: 50}
+	}
+	return testStore(t, opts)
+}
+
+func TestFleetQueryDisabled(t *testing.T) {
+	s := testStore(t, Options{})
+	if _, err := s.QueryRange(rct(0, 0, 1, 1), 5); err != ErrNoFleetIndex {
+		t.Errorf("QueryRange without index: %v, want ErrNoFleetIndex", err)
+	}
+	if _, err := s.QueryNearest(hpm.Pt(0, 0), 3, 5); err != ErrNoFleetIndex {
+		t.Errorf("QueryNearest without index: %v, want ErrNoFleetIndex", err)
+	}
+	if s.FleetIndexEnabled() || s.FleetHorizons() != nil {
+		t.Error("disabled store reports an index")
+	}
+	if fs := s.FleetStats(); fs.FleetIndex {
+		t.Error("FleetStats.FleetIndex true without index")
+	}
+}
+
+func TestFleetQueryValidation(t *testing.T) {
+	s := fleetStore(t, Options{})
+	if _, err := s.QueryRange(rct(0, 0, 1, 1), 0); err == nil {
+		t.Error("horizon 0 accepted")
+	}
+	if _, err := s.QueryRange(rct(5, 5, 1, 1), 10); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if _, err := s.QueryNearest(hpm.Pt(0, 0), 0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := s.QueryNearest(hpm.Pt(math.NaN(), 0), 3, 10); err == nil {
+		t.Error("NaN query point accepted")
+	}
+	if _, err := New(Options{
+		Config:     hpm.Config{Period: period},
+		FleetIndex: &spatial.Config{},
+	}); err == nil {
+		t.Error("FleetIndex without CellSize accepted")
+	}
+}
+
+// TestIndexMatchesScanAllDatasets is the identity property the whole design
+// rests on: with aging disabled (the default), range and kNN answers from
+// the incrementally maintained index are exactly the brute-force answers
+// recomputed from live models — across all four paper datasets, with
+// trained and untrained objects mixed.
+func TestIndexMatchesScanAllDatasets(t *testing.T) {
+	for _, kind := range []hpm.Dataset{hpm.DatasetBike, hpm.DatasetCow, hpm.DatasetCar, hpm.DatasetAirplane} {
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			s := fleetStore(t, Options{MinTrainPeriods: 3})
+			const objects = 12
+			for i := 0; i < objects; i++ {
+				spec := hpm.DefaultDatasetSpec(kind, int64(100*i+7))
+				spec.Period = s.Period()
+				// Every third object stays below MinTrainPeriods so the
+				// extrapolation path is exercised alongside the models.
+				spec.SubTrajectories = 5
+				if i%3 == 2 {
+					spec.SubTrajectories = 1
+				}
+				tr := hpm.GenerateDataset(spec)
+				id := fmt.Sprintf("%s-%d", kind, i)
+				if err := s.ObserveBatch(id, tr.Points()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(int64(kind) + 1))
+			horizons := []int{1, 5, 17, 50, 120, 500}
+			for trial := 0; trial < 40; trial++ {
+				h := horizons[trial%len(horizons)]
+				cx, cy := rng.Float64()*900-200, rng.Float64()*900-200
+				w, ht := rng.Float64()*600, rng.Float64()*600
+				r := rct(cx, cy, cx+w, cy+ht)
+				got, err := s.QueryRange(r, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := s.ScanRange(r, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d h=%d rect=%v:\nindex: %v\nscan:  %v", trial, h, r, got, want)
+				}
+
+				k := 1 + rng.Intn(objects+3)
+				p := hpm.Pt(cx, cy)
+				gotK, err := s.QueryNearest(p, k, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK, err := s.ScanNearest(p, k, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gotK, wantK) {
+					t.Fatalf("trial %d h=%d k=%d p=%v:\nindex: %v\nscan:  %v", trial, h, k, p, gotK, wantK)
+				}
+			}
+		})
+	}
+}
+
+func TestIndexDropsRemovedObject(t *testing.T) {
+	s := fleetStore(t, Options{MinTrainPeriods: 1 << 20})
+	feed(t, s, "gone", 5, 2)
+	feed(t, s, "stays", 6, 2)
+	all := rct(-1e6, -1e6, 1e6, 1e6)
+	res, err := s.QueryRange(all, 10)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("before remove: %v, %v", res, err)
+	}
+	if err := s.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.QueryRange(all, 10)
+	if err != nil || len(res) != 1 || res[0].ID != "stays" {
+		t.Fatalf("after remove: %v, %v", res, err)
+	}
+}
+
+// TestIndexSurvivesRestart checks both recovery paths: the snapshot restore
+// and a WAL tail replayed on top, with the index enabled via the process
+// options on reopen.
+func TestIndexSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Config:          hpm.Config{Period: period},
+		MinTrainPeriods: 3,
+		WALNoSync:       true,
+		FleetIndex:      &spatial.Config{CellSize: 50},
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, s, "bike", 9, 5)
+	all := rct(-1e6, -1e6, 1e6, 1e6)
+	before, err := s.QueryRange(all, 20)
+	if err != nil || len(before) != 1 {
+		t.Fatalf("pre-restart query: %v, %v", before, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s2.QueryRange(all, 20)
+	if err != nil || len(after) != 1 || after[0].ID != "bike" {
+		t.Fatalf("post-restart query: %v, %v", after, err)
+	}
+	want, err := s2.ScanRange(all, 20)
+	if err != nil || !reflect.DeepEqual(after, want) {
+		t.Fatalf("post-restart index != scan:\nindex: %v\nscan:  %v (%v)", after, want, err)
+	}
+}
+
+func TestFleetStatsSpatial(t *testing.T) {
+	s := fleetStore(t, Options{MinTrainPeriods: 1 << 20})
+	feed(t, s, "a", 1, 2)
+	if _, err := s.QueryRange(rct(-1e6, -1e6, 1e6, 1e6), 10); err != nil {
+		t.Fatal(err)
+	}
+	fs := s.FleetStats()
+	if !fs.FleetIndex {
+		t.Fatal("FleetStats.FleetIndex false")
+	}
+	if fs.Spatial.Objects != 1 || fs.Spatial.Updates == 0 || fs.Spatial.RangeQueries != 1 {
+		t.Errorf("spatial stats = %+v", fs.Spatial)
+	}
+	if fs.Spatial.Entries != int64(len(s.FleetHorizons())) {
+		t.Errorf("entries = %d, want %d", fs.Spatial.Entries, len(s.FleetHorizons()))
+	}
+}
+
+// TestFleetQueryHammer races ingest, removal, and retrain-driven swaps
+// against concurrent range and kNN queries. Run under -race it pins the
+// locking design; assertions are minimal because the interleavings are
+// nondeterministic.
+func TestFleetQueryHammer(t *testing.T) {
+	s := fleetStore(t, Options{MinTrainPeriods: 2, RetrainEvery: 1})
+	stop := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(stop) })
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			spec := hpm.DefaultDatasetSpec(hpm.DatasetCar, int64(w))
+			spec.Period = period
+			spec.SubTrajectories = 8
+			pts := hpm.GenerateDataset(spec).Points()
+			id := fmt.Sprintf("obj-%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := (i * 7) % (len(pts) - 7)
+				if err := s.ObserveBatch(id, pts[off:off+7]); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 49 {
+					if err := s.Remove(id); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(q)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := hpm.Pt(rng.Float64()*500, rng.Float64()*500)
+				if _, err := s.QueryRange(rct(c.X-100, c.Y-100, c.X+100, c.Y+100), 10); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.QueryNearest(c, 2, 50); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hpm"
 	"hpm/internal/evalq"
 	"hpm/internal/faultinject"
+	"hpm/internal/spatial"
 )
 
 // Options configures a Store.
@@ -126,6 +127,14 @@ type Options struct {
 	// routing trusts a comparison. Values <= 0 default to
 	// DefaultAdaptiveMinSamples.
 	AdaptiveMinSamples int
+	// FleetIndex, when non-nil, maintains a uniform-grid index over every
+	// object's predicted positions at the configured horizon buckets
+	// (defaulting to the evaluator's buckets), refreshed on every
+	// acknowledged observe and predictor swap. Enables QueryRange,
+	// QueryNearest and the scan oracles. CellSize must be positive. Like
+	// WALNoSync, this is process configuration: Open applies it over
+	// whatever a restored snapshot recorded.
+	FleetIndex *spatial.Config
 }
 
 // Defaults for Options fields left at their zero value.
@@ -275,6 +284,12 @@ type Store struct {
 	// the model is trained. Test hook: lets tests hold a train in flight
 	// and observe the store mid-retrain. Set it before any trains start.
 	beforeTrain func()
+
+	// index is the fleet-wide grid over predicted positions (nil unless
+	// Options.FleetIndex is set). Entries are refreshed under each
+	// object's write lock; queries take only the index's internal stripe
+	// read locks, never an object or shard lock.
+	index *spatial.Index
 }
 
 // shard is one slice of the object table: a sub-map under its own lock.
@@ -337,6 +352,22 @@ type object struct {
 	// it and re-create through the shard map, or its WAL records would
 	// land after the tombstone and corrupt replay.
 	removed bool
+	// id is the object's key in the shard map, carried here so paths
+	// without the id at hand (background train swaps, index refreshes)
+	// can address the fleet index. Immutable after creation.
+	id string
+	// idxEntries and idxTqs are reusable scratch for the fleet-index
+	// refresh, touched only under mu's write lock.
+	idxEntries []spatial.Entry
+	idxTqs     []int
+	// idxLast/idxVel are the inputs of the last index refresh and
+	// idxClean marks them valid: while untrained, entries are a pure
+	// function of (last point, velocity), so a refresh with identical
+	// inputs is skipped before any entry is built — the common case for
+	// parked objects and duplicate position pings. Guarded by mu.
+	idxLast  hpm.Point
+	idxVel   hpm.Point
+	idxClean bool
 }
 
 // New returns an empty store. Config.Period must be positive.
@@ -352,6 +383,9 @@ func New(opts Options) (*Store, error) {
 	}
 	s.trainCond = sync.NewCond(&s.trainMu)
 	s.trainSem = make(chan struct{}, s.opts.TrainWorkers)
+	if err := s.initFleetIndex(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -370,8 +404,8 @@ func (s *Store) shard(id string) *shard {
 }
 
 // newObject allocates an object's state under the store's options.
-func (s *Store) newObject() *object {
-	obj := &object{}
+func (s *Store) newObject(id string) *object {
+	obj := &object{id: id}
 	if !s.opts.EvalDisabled {
 		obj.eval = evalq.New(s.opts.Eval)
 	}
@@ -393,7 +427,7 @@ func (s *Store) get(id string, create bool) (*object, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if obj = sh.objects[id]; obj == nil {
-		obj = s.newObject()
+		obj = s.newObject(id)
 		sh.objects[id] = obj
 	}
 	return obj, nil
@@ -461,7 +495,9 @@ func (s *Store) observeLocked(obj *object, id string, locs []hpm.Point) error {
 	if obj.eval != nil {
 		s.scoreLocked(obj, base, locs)
 	}
-	return s.maybeUpdate(obj)
+	err := s.maybeUpdate(obj)
+	s.indexUpdateLocked(obj)
+	return err
 }
 
 // Observation is one object's consecutive locations within a fleet batch.
@@ -565,6 +601,7 @@ acquire:
 		if err := s.maybeUpdate(g.obj); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", g.id, err))
 		}
+		s.indexUpdateLocked(g.obj)
 		g.obj.mu.Unlock()
 	}
 	return errors.Join(errs...)
@@ -817,6 +854,9 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 		if uerr := s.maybeUpdate(obj); uerr != nil {
 			s.recordTrainErr(uerr)
 		}
+		// The swap changed what the model predicts: re-bin the object's
+		// fleet-index entries against the fresh predictor.
+		s.indexUpdateLocked(obj)
 	}
 	obj.mu.Unlock()
 
@@ -1143,6 +1183,12 @@ func (s *Store) Remove(id string) error {
 	// may already have re-created the id with a fresh object.
 	if sh.objects[id] == obj {
 		delete(sh.objects, id)
+		// Drop the fleet-index entries inside the shard critical section:
+		// any successor is created through this map after the delete, so
+		// its index updates cannot be wiped by this removal.
+		if s.index != nil {
+			s.index.Remove(id)
+		}
 	}
 	sh.mu.Unlock()
 	return nil
