@@ -16,9 +16,11 @@ race:
 	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./internal/spatial/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
 
 # Crash-safety suite under the race detector: kill/restart recovery, torn
-# WAL tails, injected WAL/snapshot/train faults, snapshot robustness.
+# WAL tails, injected WAL/snapshot/train faults, snapshot robustness, the
+# degraded read-only state machine, and the HTTP admission/shedding layer.
 chaos:
-	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard|Remove' -count=1 ./store/... ./internal/faultinject/...
+	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard|Remove|Valve|Delay' -count=1 ./store/... ./internal/faultinject/...
+	$(GO) test -race -run 'Admission|Degraded|Subscriber' -count=1 ./serve/...
 
 vet:
 	$(GO) vet ./...

@@ -30,6 +30,18 @@
 // single snapshot file at startup and save it on SIGINT/SIGTERM only (a
 // crash loses everything since the last graceful shutdown).
 //
+// The server degrades instead of collapsing: -max-inflight bounds
+// concurrent requests (reads outrank writes outrank control work under
+// -shed-policy priority; overflow is answered 429/503 + Retry-After),
+// -request-timeout deadlines every request, -max-subscribers caps live
+// SSE streams, and a durable store that loses its disk (-degrade-after
+// consecutive WAL fsync failures, or any ENOSPC/torn write) flips
+// read-only — serving queries from memory, 503ing writes — and probes the
+// disk every -probe-interval (doubling) until it can recover on its own.
+// /readyz reports 503 while degraded so load balancers route writes away;
+// /healthz stays 200 because restarting the process would not fix the
+// disk.
+//
 // -pprof 127.0.0.1:6060 serves net/http/pprof on a second, loopback-only
 // mux so ingest and query hotspots can be profiled in place without
 // exposing profiles on the API address.
@@ -45,10 +57,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"hpm"
+	"hpm/internal/faultinject"
 	"hpm/internal/spatial"
 	"hpm/serve"
 	"hpm/store"
@@ -80,8 +95,23 @@ func main() {
 		indexStale = flag.Duration("index-staleness", 0, "hide indexed objects not observed within this window (0 = never)")
 		indexTick  = flag.Float64("index-tick-hz", 0, "ticks per wall-clock second for aging indexed positions between observes (0 = aging off, exact answers)")
 		indexSpeed = flag.Float64("index-max-speed", 0, "per-tick speed clamp for aging drift (0 = half a cell per tick)")
+
+		maxInflight = flag.Int("max-inflight", 256, "concurrently executing requests; overflow past a bounded wait queue is shed with 429 + Retry-After (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, threaded into the store so expired work is abandoned (0 = none)")
+		shedPolicy  = flag.String("shed-policy", "priority", "admission policy under load: priority (reads outrank writes outrank control) or fair (one shared limit)")
+		maxSubs     = flag.Int("max-subscribers", serve.DefaultMaxSubscribers, "concurrent SSE /subscribe streams; when full, the client most behind on its write deadline is evicted first (negative = unlimited)")
+		degrade     = flag.Int("degrade-after", store.DefaultDegradeAfter, "consecutive WAL fsync failures before the store flips degraded read-only (torn writes and ENOSPC flip it immediately)")
+		probeEvery  = flag.Duration("probe-interval", store.DefaultProbeInterval, "initial delay between disk-recovery probes while degraded; doubles up to 15s")
+		faultSpec   = flag.String("fault", "", "inject a fault for testing, as op:n — fail the first n hits of that fault point (e.g. wal-sync-error:5); see internal/faultinject")
 	)
 	flag.Parse()
+	if *shedPolicy != "priority" && *shedPolicy != "fair" {
+		log.Fatalf("hpmserve: -shed-policy %q: want priority or fair", *shedPolicy)
+	}
+	faultHook, err := parseFault(*faultSpec)
+	if err != nil {
+		log.Fatalf("hpmserve: -fault %q: %v", *faultSpec, err)
+	}
 
 	if *pprofAt != "" {
 		go servePprof(*pprofAt)
@@ -101,6 +131,8 @@ func main() {
 		EvalDisabled:    *evalOff,
 		DriftThreshold:  *drift,
 		AdaptiveRouting: *adaptive,
+		DegradeAfter:    *degrade,
+		ProbeInterval:   *probeEvery,
 	}
 	opts.Eval.HitDistance = *evalHit
 	opts.Eval.RingSize = *evalRing
@@ -116,13 +148,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if faultHook != nil {
+		log.Printf("hpmserve: fault injection active (-fault %s) — testing only", *faultSpec)
+		st.SetFaultHook(faultHook)
+	}
 	if *dataDir != "" && *snapEach > 0 {
 		go snapshotLoop(st, *snapEach)
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: serve.Handler(st),
+		Addr: *addr,
+		Handler: serve.NewHandler(st, serve.Limits{
+			MaxInflight:    *maxInflight,
+			RequestTimeout: *reqTimeout,
+			ShedPolicy:     *shedPolicy,
+			MaxSubscribers: *maxSubs,
+			FaultHook:      faultHook,
+		}),
 		// A slow or hostile client must not pin a connection forever.
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -135,6 +177,31 @@ func main() {
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// parseFault turns an op:n spec into a FailN hook: the first n hits of
+// that fault point fail, then the disk "heals" — which is exactly the
+// shape a degradation smoke test wants (degrade, observe the read-only
+// window, watch the probe recover). disk-full faults carry ENOSPC so the
+// store's immediate-degrade path is the one exercised.
+func parseFault(spec string) (faultinject.Hook, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	opName, nstr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, errors.New("want op:n")
+	}
+	n, err := strconv.ParseInt(nstr, 10, 64)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("bad count %q: want a positive integer", nstr)
+	}
+	op := faultinject.Op(opName)
+	var cause error
+	if op == faultinject.OpDiskFull {
+		cause = syscall.ENOSPC
+	}
+	return faultinject.FailN(op, n, cause), nil
 }
 
 // openStore picks the persistence mode: durable (WAL + snapshots) with

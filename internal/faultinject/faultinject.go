@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Op names one fault point.
@@ -24,6 +25,24 @@ const (
 	// OpSnapshot fires at the start of a checkpoint; an error aborts the
 	// snapshot and keeps every WAL segment intact.
 	OpSnapshot Op = "snapshot"
+	// OpWALSyncError fires before each WAL group-commit fsync (and in the
+	// store's recovery probe); an error fails the sync without touching
+	// the segment's bytes, simulating a stalling or erroring disk flush.
+	OpWALSyncError Op = "wal-sync-error"
+	// OpWALSyncLatency fires before each WAL fsync purely so a hook can
+	// sleep there, simulating a slow disk; returned errors fail the sync
+	// like OpWALSyncError.
+	OpWALSyncLatency Op = "wal-sync-latency"
+	// OpDiskFull fires before WAL segment writes, before snapshot writes,
+	// and in the recovery probe; an error simulates ENOSPC (wrap
+	// syscall.ENOSPC to exercise the store's immediate-degrade path). A
+	// failed segment write leaves the segment tail untrusted, exactly
+	// like a real short write.
+	OpDiskFull Op = "disk-full"
+	// OpSlowClient fires at request admission in the HTTP layer so a hook
+	// can sleep there, simulating a slow or stalled client holding a
+	// request slot.
+	OpSlowClient Op = "slow-client"
 )
 
 // Hook decides the fate of one operation: nil lets it proceed, an error
@@ -44,6 +63,20 @@ func FailN(op Op, n int64, err error) Hook {
 	return func(got Op) error {
 		if got == op && count.Add(1) <= n {
 			return err
+		}
+		return nil
+	}
+}
+
+// DelayN returns a hook that sleeps d on the first n invocations of op
+// and then lets everything through untouched, simulating slow hardware
+// (a stalling fsync, a congested disk) or a slow client. It never fails
+// the operation. Safe for concurrent use; n < 0 delays forever.
+func DelayN(op Op, n int64, d time.Duration) Hook {
+	var count atomic.Int64
+	return func(got Op) error {
+		if got == op && (n < 0 || count.Add(1) <= n) {
+			time.Sleep(d)
 		}
 		return nil
 	}

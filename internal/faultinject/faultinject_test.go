@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestFailN(t *testing.T) {
@@ -53,5 +54,25 @@ func TestJoin(t *testing.T) {
 	}
 	if err := h(OpTrain); err != nil {
 		t.Fatalf("exhausted hook still failing: %v", err)
+	}
+}
+
+func TestDelayN(t *testing.T) {
+	h := DelayN(OpWALSyncLatency, 2, 20*time.Millisecond)
+	start := time.Now()
+	if err := h(OpWALSyncLatency); err != nil {
+		t.Fatalf("delay hook failed the op: %v", err)
+	}
+	if err := h(OpDiskFull); err != nil {
+		t.Fatalf("delay hook touched a foreign op: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("first matching call returned in %v; delay not applied", elapsed)
+	}
+	h(OpWALSyncLatency) // second delayed call exhausts the budget
+	start = time.Now()
+	h(OpWALSyncLatency)
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Errorf("exhausted delay hook still sleeping (%v)", elapsed)
 	}
 }

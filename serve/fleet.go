@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -89,7 +90,7 @@ func handleQueryRange(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errBody("need a positive horizon"))
 		return
 	}
-	res, err := st.QueryRange(rect, h)
+	res, err := st.QueryRangeContext(r.Context(), rect, h)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -122,7 +123,7 @@ func handleQueryKNN(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errBody("need a positive horizon"))
 		return
 	}
-	res, err := st.QueryNearest(hpm.Pt(x, y), k, h)
+	res, err := st.QueryNearestContext(r.Context(), hpm.Pt(x, y), k, h)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -143,8 +144,11 @@ const (
 // first event is pushed immediately (so a subscriber renders without
 // waiting a full interval), then one per interval. Each event re-runs the
 // indexed query, so subscribers track ingest, retrains, and removals; the
-// stream ends when the client disconnects.
-func handleSubscribe(st *store.Store, w http.ResponseWriter, r *http.Request) {
+// stream ends when the client disconnects, or when the subscriber table
+// fills and this client — stalled past its write deadline — is evicted
+// to admit a newcomer.
+func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	st := s.st
 	rect, err := rectParams(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errBody(err.Error()))
@@ -177,12 +181,32 @@ func handleSubscribe(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// eventDue is the instant by which one event write must complete: the
+	// per-event write deadline below. Registered in the subscriber table
+	// so the eviction policy can spot the client that is blowing it.
+	eventDue := func() time.Time { return time.Now().Add(2*interval + 10*time.Second) }
+	ctx := r.Context()
+	var handle int
+	if s.subs != nil {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		handle, ok = s.subs.add(cancel, eventDue())
+		if !ok {
+			// Full of clients that are all keeping up: shed the newcomer.
+			s.shed.inc("subscribe", "subscribers_full")
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeJSON(w, http.StatusTooManyRequests, errBody("subscriber limit reached, retry later"))
+			return
+		}
+		defer s.subs.remove(handle)
+		ctx = sctx
+	}
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
 	rc := http.NewResponseController(w)
-	ctx := r.Context()
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for seq := 0; ; seq++ {
@@ -200,7 +224,11 @@ func handleSubscribe(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		}
 		// Long-lived streams must outlive any server write timeout; pushing
 		// the deadline per event caps how long a dead client lingers.
-		_ = rc.SetWriteDeadline(time.Now().Add(2*interval + 10*time.Second))
+		due := eventDue()
+		if s.subs != nil {
+			s.subs.touch(handle, due)
+		}
+		_ = rc.SetWriteDeadline(due)
 		if _, err := fmt.Fprintf(w, "event: update\ndata: %s\n\n", payload); err != nil {
 			return
 		}

@@ -16,7 +16,11 @@ import (
 //	               fleet whose models are quietly failing to refresh.
 //
 // readyz answers 503 once the store is closed (shutdown in progress), so
-// load balancers drain before the final checkpoint runs.
+// load balancers drain before the final checkpoint runs — and while the
+// store is degraded read-only, so write traffic routes away from a node
+// whose disk is refusing WAL commits. healthz stays 200 through a
+// degrade: the process is alive and still answering reads, and restarting
+// it would not fix the disk.
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -24,9 +28,10 @@ func handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func handleReadyz(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	h := st.Health()
+	ready := !h.Closed && !h.Degraded
 	status := http.StatusOK
-	if h.Closed {
+	if !ready {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{"ready": !h.Closed, "health": h})
+	writeJSON(w, status, map[string]any{"ready": ready, "health": h})
 }

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
-
-	"hpm/store"
 )
 
 // GET /metrics renders the store's operational counters in the Prometheus
@@ -16,7 +14,8 @@ import (
 // not — so scrapes see a stable series set and rate() never loses a
 // series to sparsity.
 
-func handleMetrics(st *store.Store, w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.st
 	fs := st.FleetStats()
 	var b bytes.Buffer
 
@@ -54,6 +53,28 @@ func handleMetrics(st *store.Store, w http.ResponseWriter, _ *http.Request) {
 	counter("hpm_wal_records_total", "Observation records appended to the write-ahead log.", fs.WAL.Records)
 	counter("hpm_wal_batches_total", "WAL group commits (file writes).", fs.WAL.Batches)
 	counter("hpm_wal_fsyncs_total", "WAL fsyncs issued.", fs.WAL.Fsyncs)
+
+	// Degradation ladder: the read-only state machine, its causes, and the
+	// admission layer's shedding. hpm_degraded is the alert-on gauge; the
+	// per-{endpoint,reason} shed series only appear once they fire (the
+	// label space is open-ended), with the _total counter always present.
+	degraded := 0
+	if fs.Degraded {
+		degraded = 1
+	}
+	gauge("hpm_degraded", "1 while the store is degraded read-only (WAL failure), else 0.", degraded)
+	counter("hpm_wal_errors_total", "Failed WAL group commits (write or fsync) since start.", fs.WALErrors)
+	counter("hpm_recoveries_total", "Completed degrade-to-healthy recovery cycles.", fs.Recoveries)
+	counter("hpm_drift_suppressed_total", "Drift retrains skipped by the trainer-saturation valve.", fs.DriftSuppressed)
+	if s.subs != nil {
+		gauge("hpm_subscribers", "Live SSE subscriber streams.", s.subs.count())
+	}
+	fmt.Fprintf(&b, "# HELP hpm_shed_total Requests shed by admission control, by endpoint and reason.\n")
+	fmt.Fprintf(&b, "# TYPE hpm_shed_total counter\n")
+	fmt.Fprintf(&b, "hpm_shed_total %d\n", s.shed.total())
+	for _, sm := range s.shed.snapshot() {
+		fmt.Fprintf(&b, "hpm_shed_total{endpoint=%q,reason=%q} %d\n", sm.endpoint, sm.reason, sm.n)
+	}
 
 	fmt.Fprintf(&b, "# HELP hpm_queries_total Predictive queries answered, by answering path.\n")
 	fmt.Fprintf(&b, "# TYPE hpm_queries_total counter\n")

@@ -26,6 +26,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,72 +45,89 @@ const maxObserveBody = 1 << 20
 // objects, so it gets more headroom than a single-object observe.
 const maxFleetBody = 8 << 20
 
-// Handler returns the HTTP handler for the store.
+// Handler returns the HTTP handler for the store with admission control
+// disabled — the zero Limits — for embedders that do their own limiting.
 func Handler(st *store.Store) http.Handler {
+	return NewHandler(st, Limits{})
+}
+
+// NewHandler returns the HTTP handler for the store with the given
+// admission limits. Every endpoint but /subscribe, /healthz, /readyz and
+// /metrics passes the admission guard (concurrency limit + deadline +
+// shed accounting); the exempt four stay cheap and must answer even when
+// the serving paths are saturated, or the operator flies blind exactly
+// when it matters.
+func NewHandler(st *store.Store, lim Limits) http.Handler {
+	s := newServer(st, lim)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /objects", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /objects", s.guard("objects", classRead, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"objects": st.Objects()})
-	})
-	mux.HandleFunc("POST /objects/{id}/observe", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /objects/{id}/observe", s.guard("observe", classWrite, func(w http.ResponseWriter, r *http.Request) {
 		handleObserve(st, w, r)
-	})
+	}))
 	// Bulk ingest: one request observes many objects, and on a durable
 	// store the whole fleet tick rides a single WAL group commit (one
 	// fsync for the entire request).
-	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /observe", s.guard("observe", classWrite, func(w http.ResponseWriter, r *http.Request) {
 		handleObserveFleet(st, w, r)
-	})
+	}))
 	// Flush drains background (re)trains: afterwards every prior observe
-	// is reflected in the models. Training failures surface here.
-	mux.HandleFunc("POST /flush", func(w http.ResponseWriter, r *http.Request) {
+	// is reflected in the models. Training failures surface here. Classed
+	// as control work: it parks on the training pool, the most expensive
+	// thing a request can do, so it gets the smallest concurrency slice.
+	mux.HandleFunc("POST /flush", s.guard("flush", classControl, func(w http.ResponseWriter, r *http.Request) {
 		if err := st.Flush(); err != nil {
 			writeJSON(w, http.StatusInternalServerError, errBody(err.Error()))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
-	})
-	mux.HandleFunc("GET /objects/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /objects/{id}/stats", s.guard("stats", classRead, func(w http.ResponseWriter, r *http.Request) {
 		stats, err := st.Stats(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, stats)
-	})
-	mux.HandleFunc("GET /objects/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /objects/{id}/predict", s.guard("predict", classRead, func(w http.ResponseWriter, r *http.Request) {
 		handlePredict(st, w, r)
-	})
-	mux.HandleFunc("POST /objects/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /objects/{id}/predict", s.guard("predict", classRead, func(w http.ResponseWriter, r *http.Request) {
 		handlePredictBatch(st, w, r)
-	})
-	mux.HandleFunc("GET /objects/{id}/trajectory", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /objects/{id}/trajectory", s.guard("trajectory", classRead, func(w http.ResponseWriter, r *http.Request) {
 		handleTrajectory(st, w, r)
-	})
-	mux.HandleFunc("GET /objects/{id}/eval", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /objects/{id}/eval", s.guard("eval", classRead, func(w http.ResponseWriter, r *http.Request) {
 		sum, err := st.EvalStats(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sum)
-	})
+	}))
 	// Fleet-wide predictive queries against the spatial index (answered
 	// with 501 Not Implemented when the store runs without
 	// Options.FleetIndex).
-	mux.HandleFunc("GET /query/range", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /query/range", s.guard("query", classRead, func(w http.ResponseWriter, r *http.Request) {
 		handleQueryRange(st, w, r)
-	})
-	mux.HandleFunc("GET /query/knn", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /query/knn", s.guard("query", classRead, func(w http.ResponseWriter, r *http.Request) {
 		handleQueryKNN(st, w, r)
-	})
+	}))
+	// Long-lived SSE streams bypass the request limiters (a deadline or a
+	// concurrency token held for minutes would be nonsense) and are capped
+	// by the subscriber table instead.
 	mux.HandleFunc("GET /subscribe", func(w http.ResponseWriter, r *http.Request) {
-		handleSubscribe(st, w, r)
+		s.handleSubscribe(w, r)
 	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /stats", s.guard("stats", classRead, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st.FleetStats())
-	})
+	}))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(st, w, r)
+		s.handleMetrics(w, r)
 	})
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +158,7 @@ func handleObserve(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		pts[i] = hpm.Pt(xy[0], xy[1])
 	}
 	id := r.PathValue("id")
-	if err := st.ObserveBatch(id, pts); err != nil {
+	if err := st.ObserveBatchContext(r.Context(), id, pts); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -189,7 +207,7 @@ func handleObserveFleet(st *store.Store, w http.ResponseWriter, r *http.Request)
 		batch[i] = store.Observation{ID: ob.ID, Points: pts}
 		points += len(pts)
 	}
-	if err := st.ObserveAll(batch); err != nil {
+	if err := st.ObserveAllContext(r.Context(), batch); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -269,7 +287,7 @@ func handlePredict(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errBody("need tq or horizon"))
 		return
 	}
-	preds, err := st.Predict(id, tq, k)
+	preds, err := st.PredictContext(r.Context(), id, tq, k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -336,7 +354,7 @@ func handlePredictBatch(st *store.Store, w http.ResponseWriter, r *http.Request)
 	if k <= 0 {
 		k = 1
 	}
-	batches, err := st.PredictBatch(id, tqs, k)
+	batches, err := st.PredictBatchContext(r.Context(), id, tqs, k)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -373,7 +391,7 @@ func handleTrajectory(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errBody("range too large"))
 		return
 	}
-	preds, err := st.PredictRange(id, from, to)
+	preds, err := st.PredictRangeContext(r.Context(), id, from, to)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -412,6 +430,17 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, store.ErrNoFleetIndex):
 		status = http.StatusNotImplemented
+	case errors.Is(err, store.ErrDegraded):
+		// Read-only mode: the write was refused, nothing was recorded.
+		// Retry-After because the store auto-recovers once the disk heals.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request's deadline expired (or the client left) before the
+		// store finished; for observes this is pre-acknowledgment only, so
+		// retrying is safe.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	default:
 		// Invalid query times and similar caller mistakes read as 400s.
 		status = http.StatusBadRequest

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SSE subscriber registry. Streams are long-lived, so they are governed
+// by a population cap rather than the request limiters: when the table is
+// full, the subscriber most behind on its per-event write deadline — the
+// stalled or dead client that is already holding a connection hostage —
+// is evicted to make room, and only if every current subscriber is
+// keeping up is the newcomer shed instead.
+
+// subscriber is one live SSE stream: its cancel tears the stream down,
+// and due is the unix-nano instant by which its next event write must
+// have completed (pushed forward before every write, mirroring the write
+// deadline the stream sets). A due in the past means the client is
+// missing deadlines right now.
+type subscriber struct {
+	cancel context.CancelFunc
+	due    int64
+}
+
+// subscriberTable tracks live streams up to a cap.
+type subscriberTable struct {
+	mu   sync.Mutex
+	cap  int
+	next int // handle allocator
+	subs map[int]*subscriber
+}
+
+func newSubscriberTable(capacity int) *subscriberTable {
+	return &subscriberTable{cap: capacity, subs: map[int]*subscriber{}}
+}
+
+// add registers a stream, evicting the most-overdue subscriber if the
+// table is full and someone is overdue. It returns a handle to remove on
+// stream end, or ok=false when the table is full of healthy clients (the
+// caller sheds the new stream with 429).
+func (t *subscriberTable) add(cancel context.CancelFunc, due time.Time) (handle int, ok bool) {
+	t.mu.Lock()
+	var evict *subscriber
+	if len(t.subs) >= t.cap {
+		now := time.Now().UnixNano()
+		oldest, oldestDue := -1, now
+		for h, sub := range t.subs {
+			if sub.due < oldestDue {
+				oldest, oldestDue = h, sub.due
+			}
+		}
+		if oldest < 0 {
+			t.mu.Unlock()
+			return 0, false // everyone is meeting deadlines; shed the newcomer
+		}
+		evict = t.subs[oldest]
+		delete(t.subs, oldest)
+	}
+	t.next++
+	handle = t.next
+	t.subs[handle] = &subscriber{cancel: cancel, due: due.UnixNano()}
+	t.mu.Unlock()
+	if evict != nil {
+		evict.cancel() // outside the lock: cancel wakes the stream goroutine
+	}
+	return handle, true
+}
+
+// touch pushes a stream's write deadline forward before an event write.
+func (t *subscriberTable) touch(handle int, due time.Time) {
+	t.mu.Lock()
+	if sub := t.subs[handle]; sub != nil {
+		sub.due = due.UnixNano()
+	}
+	t.mu.Unlock()
+}
+
+// remove deregisters a finished stream.
+func (t *subscriberTable) remove(handle int) {
+	t.mu.Lock()
+	delete(t.subs, handle)
+	t.mu.Unlock()
+}
+
+// count returns the live-stream population, for the hpm_subscribers gauge.
+func (t *subscriberTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}

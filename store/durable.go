@@ -78,6 +78,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.replayed = replayed
 	s.recoverModels()
 	s.rebuildIndex()
+	// Wire the degradation state machine into the log before any append
+	// can happen: the fault points let tests inject disk failures at the
+	// flush, and every group commit's outcome feeds noteWALFlush.
+	w.fault = s.fault
+	w.onFlush = s.noteWALFlush
 	s.wal = w
 	return s, nil
 }
@@ -196,8 +201,21 @@ func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 // On any failure every segment is kept, so no acknowledged observation is
 // ever lost to a half-finished checkpoint.
 func (s *Store) Checkpoint() error {
+	return s.checkpoint(false)
+}
+
+// checkpoint is Checkpoint's engine. force runs it even while the store
+// is not healthy — recovery checkpoints from the recovering state, where
+// the public path would refuse — while the unforced path fails fast with
+// ErrDegraded rather than grind a dead disk through a snapshot write.
+func (s *Store) checkpoint(force bool) error {
 	if s.wal == nil {
 		return errors.New("store: Checkpoint requires a store opened with Open")
+	}
+	if !force {
+		if err := s.writable(); err != nil {
+			return err
+		}
 	}
 	s.checkpointMu.Lock()
 	defer s.checkpointMu.Unlock()
@@ -228,7 +246,13 @@ func (s *Store) SaveFile(path string) error {
 		return err
 	}
 	cw := &crcWriter{w: f}
-	err = s.Save(cw)
+	// Disk-full fault point for the snapshot body: a failure here must
+	// leave the previous snapshot and every WAL segment intact (the temp
+	// file is discarded below, reclaim never runs).
+	err = s.fault(faultinject.OpDiskFull)
+	if err == nil {
+		err = s.Save(cw)
+	}
 	if err == nil {
 		var trailer [4]byte
 		binary.LittleEndian.PutUint32(trailer[:], cw.crc)
@@ -301,7 +325,7 @@ func (s *Store) walAppend(id string, offset int, pts []hpm.Point) error {
 	if err := s.fault(faultinject.OpWALAppend); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
-	return s.wal.append(id, offset, pts)
+	return s.degradedErr(s.wal.append(id, offset, pts))
 }
 
 // walRemove logs an object's removal as a tombstone: a record with zero
@@ -313,7 +337,7 @@ func (s *Store) walRemove(id string) error {
 	if err := s.fault(faultinject.OpWALAppend); err != nil {
 		return fmt.Errorf("store: wal remove: %w", err)
 	}
-	return s.wal.append(id, 0, nil)
+	return s.degradedErr(s.wal.append(id, 0, nil))
 }
 
 // walAppendAll logs a fleet batch as one group commit. Called with every
@@ -323,5 +347,5 @@ func (s *Store) walAppendAll(recs []walRecord) error {
 	if err := s.fault(faultinject.OpWALAppend); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
-	return s.wal.appendAll(recs)
+	return s.degradedErr(s.wal.appendAll(recs))
 }

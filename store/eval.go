@@ -61,6 +61,18 @@ func (s *Store) scoreLocked(obj *object, base int, pts []hpm.Point) {
 	if completed < s.opts.MinTrainPeriods {
 		return
 	}
+	// Trainer-saturation valve: drift retrains are opportunistic quality
+	// work, so when the background pool is already backlogged they yield
+	// rather than pile on. The EWMA is deliberately NOT reset here — the
+	// drift signal stays hot and re-fires on a later observation once the
+	// backlog clears.
+	s.trainMu.Lock()
+	backlogged := s.pending >= s.opts.MaxTrainBacklog
+	s.trainMu.Unlock()
+	if backlogged {
+		s.driftSuppressed.Add(1)
+		return
+	}
 	// Reset first so the retrained model starts with a clean signal and
 	// one straggling error cannot immediately re-fire.
 	obj.eval.ResetEWMA()
@@ -148,6 +160,15 @@ type FleetStats struct {
 	PendingTrains int    `json:"pendingTrains"`
 	TrainFailures uint64 `json:"trainFailures"`
 	DriftRetrains uint64 `json:"driftRetrains"`
+	// DriftSuppressed counts drift retrains the saturation valve skipped
+	// because the training pool's backlog exceeded MaxTrainBacklog.
+	DriftSuppressed uint64 `json:"driftSuppressed"`
+	// State mirrors Health: the degradation state machine's position, the
+	// failed-group-commit count, and completed degrade/recover cycles.
+	State      string `json:"state"`
+	Degraded   bool   `json:"degraded"`
+	WALErrors  uint64 `json:"walErrors"`
+	Recoveries uint64 `json:"recoveries"`
 	// Trains and Extends count model updates by path since start (every
 	// train attempt counts); TrainSeconds and ExtendSeconds are the
 	// cumulative wall-clock each path consumed — the live view of the
@@ -202,6 +223,11 @@ func (s *Store) FleetStats() FleetStats {
 		fs.Spatial = s.index.Stats()
 	}
 	fs.DriftRetrains = s.driftRetrains.Load()
+	fs.DriftSuppressed = s.driftSuppressed.Load()
+	fs.State = s.State()
+	fs.Degraded = s.Degraded()
+	fs.WALErrors = s.walErrors.Load()
+	fs.Recoveries = s.recoveries.Load()
 	fs.Trains = s.trains.Load()
 	fs.Extends = s.extends.Load()
 	fs.TrainSeconds = float64(s.trainNanos.Load()) / 1e9

@@ -12,6 +12,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -127,6 +128,22 @@ type Options struct {
 	// routing trusts a comparison. Values <= 0 default to
 	// DefaultAdaptiveMinSamples.
 	AdaptiveMinSamples int
+	// DegradeAfter is how many consecutive WAL fsync failures flip a
+	// durable store into degraded read-only mode. A failed segment write
+	// (torn tail) or ENOSPC degrades immediately regardless. Values <= 0
+	// default to DefaultDegradeAfter. See store/degrade.go.
+	DegradeAfter int
+	// ProbeInterval is the recovery probe's initial delay after a degrade;
+	// it doubles per failed probe up to a 15s cap. Values <= 0 default to
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// MaxTrainBacklog is the trainer-saturation valve: when this many
+	// background trains are already pending, drift-triggered retrains are
+	// skipped (without resetting the drift EWMA, so they re-fire once the
+	// pool drains). Scheduled first-trains and periodic retrains are not
+	// valved — they are the product, drift retrains are opportunistic.
+	// Values <= 0 default to 4× TrainWorkers.
+	MaxTrainBacklog int
 	// FleetIndex, when non-nil, maintains a uniform-grid index over every
 	// object's predicted positions at the configured horizon buckets
 	// (defaulting to the evaluator's buckets), refreshed on every
@@ -146,6 +163,8 @@ const (
 	DefaultShards             = 64
 	DefaultDriftMinScores     = 10
 	DefaultAdaptiveMinSamples = 20
+	DefaultDegradeAfter       = 3
+	DefaultProbeInterval      = 500 * time.Millisecond
 )
 
 // maxShards bounds Options.Shards against absurd configurations (each
@@ -193,6 +212,15 @@ func (o Options) withDefaults() Options {
 	o.Eval = o.Eval.WithDefaults()
 	if o.DriftMinScores <= 0 {
 		o.DriftMinScores = DefaultDriftMinScores
+	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = DefaultDegradeAfter
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = DefaultProbeInterval
+	}
+	if o.MaxTrainBacklog <= 0 {
+		o.MaxTrainBacklog = 4 * o.TrainWorkers
 	}
 	if o.AdaptiveMinSamples <= 0 {
 		o.AdaptiveMinSamples = DefaultAdaptiveMinSamples
@@ -263,6 +291,26 @@ type Store struct {
 	restored     bool // a snapshot was loaded at Open
 	replayed     int  // WAL records replayed at Open
 	checkpointMu sync.Mutex
+
+	// Degradation state machine (store/degrade.go): state is one of
+	// stateHealthy/stateDegraded/stateRecovering, syncFails counts
+	// consecutive WAL fsync failures toward Options.DegradeAfter, and the
+	// counters feed Health and /metrics. stop (created by New, closed by
+	// the first Close) ends the recovery probe goroutine.
+	state      atomic.Int32
+	syncFails  atomic.Int64
+	walErrors  atomic.Uint64
+	degrades   atomic.Uint64
+	recoveries atomic.Uint64
+	degradeMu  sync.Mutex // guards lastWALErr and stopped
+	lastWALErr error
+	stopped    bool // Close ran; no new probe goroutines may start
+	stop       chan struct{}
+	probeWG    sync.WaitGroup
+
+	// driftSuppressed counts drift retrains the trainer-saturation valve
+	// skipped (Options.MaxTrainBacklog), for FleetStats and /metrics.
+	driftSuppressed atomic.Uint64
 
 	// driftRetrains counts retrains triggered fleet-wide by the drift
 	// EWMA (Options.DriftThreshold), for FleetStats and /metrics.
@@ -383,6 +431,7 @@ func New(opts Options) (*Store, error) {
 	}
 	s.trainCond = sync.NewCond(&s.trainMu)
 	s.trainSem = make(chan struct{}, s.opts.TrainWorkers)
+	s.stop = make(chan struct{})
 	if err := s.initFleetIndex(); err != nil {
 		return nil, err
 	}
@@ -450,37 +499,22 @@ func (s *Store) Observe(id string, loc hpm.Point) error {
 // object's read-write lock — concurrent writers ride the same group
 // commit, and queries against the object proceed during the fsync.
 func (s *Store) ObserveBatch(id string, locs []hpm.Point) error {
-	if len(locs) == 0 {
-		return nil
-	}
-	for _, p := range locs {
-		if !isFinite(p) {
-			return fmt.Errorf("%w: (%v, %v)", ErrInvalidPoint, p.X, p.Y)
-		}
-	}
-	for {
-		obj, err := s.get(id, true)
-		if err != nil {
-			return err
-		}
-		obj.ingestMu.Lock()
-		if obj.removed {
-			// Raced Remove: this pointer is tombstoned, so its WAL records
-			// would land after the tombstone with stale offsets. Re-create
-			// through the shard map.
-			obj.ingestMu.Unlock()
-			continue
-		}
-		err = s.observeLocked(obj, id, locs)
-		obj.ingestMu.Unlock()
-		return err
-	}
+	return s.ObserveBatchContext(context.Background(), id, locs)
 }
 
 // observeLocked commits and applies one object's batch: WAL first (the
 // acknowledgment barrier), then the in-memory track, prequential scoring
 // and the model-update policy. Called with obj.ingestMu held.
-func (s *Store) observeLocked(obj *object, id string, locs []hpm.Point) error {
+//
+// ctx may cancel the observe only BEFORE the WAL commit: once a record is
+// staged into a group commit it will be written, and a record that is
+// durable but unapplied would collide with a later write at the same
+// offset on replay. So cancellation past the barrier is ignored — the
+// caller gets nil and the observation really happened.
+func (s *Store) observeLocked(ctx context.Context, obj *object, id string, locs []hpm.Point) error {
+	if err := ctx.Err(); err != nil {
+		return err // not acknowledged: nothing staged yet
+	}
 	if s.wal != nil {
 		// Track mutation requires ingestMu, so the offset read is stable
 		// without obj.mu and stays the track length until we apply below.
@@ -514,6 +548,12 @@ type Observation struct {
 // joined and returned after every point has been applied; the points
 // themselves are durable and acknowledged even then.
 func (s *Store) ObserveAll(batch []Observation) error {
+	return s.ObserveAllContext(context.Background(), batch)
+}
+
+// ObserveAllContext is ObserveAll with request-scoped cancellation; like
+// ObserveBatchContext, ctx is honored only up to the WAL commit.
+func (s *Store) ObserveAllContext(ctx context.Context, batch []Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -523,6 +563,9 @@ func (s *Store) ObserveAll(batch []Observation) error {
 				return fmt.Errorf("%w: %q (%v, %v)", ErrInvalidPoint, ob.ID, p.X, p.Y)
 			}
 		}
+	}
+	if err := s.writable(); err != nil {
+		return err // degraded: fail fast before touching any lock
 	}
 	// Merge repeated ids, keeping each object's points in argument order.
 	index := make(map[string]int, len(batch))
@@ -581,6 +624,9 @@ acquire:
 			groups[i].obj.ingestMu.Unlock()
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		return err // canceled while acquiring locks: nothing staged yet
+	}
 	if s.wal != nil {
 		recs := make([]walRecord, len(groups))
 		for i, g := range groups {
@@ -920,11 +966,31 @@ func (s *Store) Flush() error {
 // training errors joined with checkpoint errors.
 func (s *Store) Close() error {
 	s.trainMu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	s.trainMu.Unlock()
+	if !wasClosed {
+		s.degradeMu.Lock()
+		s.stopped = true // no new probe goroutine may start from here on
+		s.degradeMu.Unlock()
+		close(s.stop) // ends the recovery probe, if one is running
+	}
+	// Wait the probe out before touching the WAL below: a recovery in
+	// flight reopens segments this Close is about to close.
+	s.probeWG.Wait()
 	err := s.Flush()
 	if s.wal != nil {
-		err = errors.Join(err, s.Checkpoint(), s.wal.close())
+		if s.state.Load() == stateHealthy {
+			err = errors.Join(err, s.checkpoint(false))
+		} else {
+			// Degraded: the disk is refusing writes, so don't wedge
+			// shutdown on a snapshot that cannot land. Every acknowledged
+			// record is already in a WAL segment; the next Open replays
+			// them (the torn tail of the broken segment is repaired by the
+			// tolerant final-segment replay).
+			err = errors.Join(err, fmt.Errorf("store: close without checkpoint: %w", ErrDegraded))
+		}
+		err = errors.Join(err, s.wal.close())
 	}
 	return err
 }
@@ -934,12 +1000,23 @@ func (s *Store) Close() error {
 // run under the object's read lock: any number execute in parallel with
 // each other, serializing only against writes (Observe, model swaps).
 func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
+	return s.PredictContext(context.Background(), id, tq, k)
+}
+
+// PredictContext is Predict with request-scoped cancellation: a client
+// that disconnected or blew its deadline before the query starts — or
+// while waiting for the object's lock behind a model swap — gets the
+// context's error instead of an answer nobody reads.
+func (s *Store) PredictContext(ctx context.Context, id string, tq, k int) ([]hpm.Prediction, error) {
 	obj, err := s.get(id, false)
 	if err != nil {
 		return nil, err
 	}
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	recent, err := s.recentLocked(obj)
 	if err != nil {
 		return nil, err
@@ -957,12 +1034,20 @@ func (s *Store) Predict(id string, tq, k int) ([]hpm.Prediction, error) {
 
 // PredictRange estimates the object's locations over [from, to].
 func (s *Store) PredictRange(id string, from, to int) ([]hpm.Prediction, error) {
+	return s.PredictRangeContext(context.Background(), id, from, to)
+}
+
+// PredictRangeContext is PredictRange with request-scoped cancellation.
+func (s *Store) PredictRangeContext(ctx context.Context, id string, from, to int) ([]hpm.Prediction, error) {
 	obj, err := s.get(id, false)
 	if err != nil {
 		return nil, err
 	}
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	recent, err := s.recentLocked(obj)
 	if err != nil {
 		return nil, err
@@ -977,12 +1062,20 @@ func (s *Store) PredictRange(id string, from, to int) ([]hpm.Prediction, error) 
 // function fit, so it is substantially cheaper than len(tqs) Predict
 // calls. Times nothing can answer yield a nil entry.
 func (s *Store) PredictBatch(id string, tqs []int, k int) ([][]hpm.Prediction, error) {
+	return s.PredictBatchContext(context.Background(), id, tqs, k)
+}
+
+// PredictBatchContext is PredictBatch with request-scoped cancellation.
+func (s *Store) PredictBatchContext(ctx context.Context, id string, tqs []int, k int) ([][]hpm.Prediction, error) {
 	obj, err := s.get(id, false)
 	if err != nil {
 		return nil, err
 	}
 	obj.mu.RLock()
 	defer obj.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	recent, err := s.recentLocked(obj)
 	if err != nil {
 		return nil, err
@@ -1104,6 +1197,17 @@ type Health struct {
 	Durable          bool `json:"durable"`
 	SnapshotRestored bool `json:"snapshotRestored"`
 	WALReplayed      int  `json:"walReplayed"`
+	// State is the degradation state machine's position ("healthy",
+	// "degraded", "recovering"); Degraded is true whenever writes are
+	// being refused. WALErrors counts failed WAL group commits over the
+	// process life, LastWALError is the most recent one, and Degrades/
+	// Recoveries count completed transitions. See store/degrade.go.
+	State        string `json:"state"`
+	Degraded     bool   `json:"degraded"`
+	WALErrors    uint64 `json:"walErrors"`
+	LastWALError string `json:"lastWALError,omitempty"`
+	Degrades     uint64 `json:"degrades"`
+	Recoveries   uint64 `json:"recoveries"`
 	// TrainFailures counts every failed train attempt since the process
 	// started; RecentTrainErrors is the bounded ring's current contents
 	// (oldest first, cleared by Flush).
@@ -1131,6 +1235,14 @@ func (s *Store) Health() Health {
 		SnapshotRestored: s.restored,
 		WALReplayed:      s.replayed,
 		TrainFailures:    s.errTotal,
+		State:            s.State(),
+		Degraded:         s.Degraded(),
+		WALErrors:        s.walErrors.Load(),
+		Degrades:         s.degrades.Load(),
+		Recoveries:       s.recoveries.Load(),
+	}
+	if err := s.lastWALError(); err != nil {
+		h.LastWALError = err.Error()
 	}
 	for _, err := range s.trainErrsLocked() {
 		h.RecentTrainErrors = append(h.RecentTrainErrors, err.Error())
@@ -1162,6 +1274,9 @@ func (s *Store) Objects() []string {
 // segments and the snapshot still mention it; the next checkpoint drops
 // it from the snapshot too. Removing an unknown id is a no-op.
 func (s *Store) Remove(id string) error {
+	if err := s.writable(); err != nil {
+		return err // degraded: the tombstone could not be made durable
+	}
 	obj, err := s.get(id, false)
 	if err != nil {
 		return nil // never observed (or already removed): nothing to do

@@ -14,7 +14,13 @@ import (
 	"sync/atomic"
 
 	"hpm"
+	"hpm/internal/faultinject"
 )
+
+// errWALBroken is returned for appends staged after a segment write
+// failure, until recovery resets to a fresh segment. The store wraps it
+// in ErrDegraded before it reaches callers.
+var errWALBroken = errors.New("store: wal segment broken by a failed write")
 
 // Write-ahead observation log. Every ObserveBatch against a durable store
 // appends one record — object id, track offset, points — to the current
@@ -81,10 +87,26 @@ type wal struct {
 	f       *os.File
 	seq     uint64
 	frozen  []string  // closed segments, oldest first, reclaimed at checkpoint
+	retired []string  // closed but not yet repaired segments (see reset)
 	cur     *walBatch // batch accepting stagers; nil when none staged
 	writing bool      // a leader is flushing; stagers become followers
 	spare   []byte    // recycled batch buffer, so steady state allocates nothing
 	scratch []byte    // payload encode scratch, used under mu
+
+	// broken marks the active segment untrusted after a failed write: a
+	// short write leaves a torn record mid-file, and appending past it
+	// would strand every later record behind an undecodable prefix — so
+	// once set, appends fail fast until reset opens a fresh segment.
+	// A failed *fsync* does not set it: the bytes are whole, only their
+	// durability is in doubt, and retrying in place stays content-safe.
+	broken bool
+
+	// fault, when set, is consulted at the write and sync fault points
+	// (disk-full, wal-sync-latency, wal-sync-error); onFlush, when set,
+	// observes every group commit's outcome — the store's degradation
+	// state machine counts failures there. Both are fixed at Open.
+	fault   func(faultinject.Op) error
+	onFlush func(err error, broke bool)
 
 	// Commit accounting, read by benchmarks and Store.WALStats: records
 	// staged, group commits written (one file write each), fsyncs issued.
@@ -160,6 +182,10 @@ func (w *wal) append(id string, offset int, pts []hpm.Point) error {
 		w.mu.Unlock()
 		return errors.New("store: wal closed")
 	}
+	if w.broken {
+		w.mu.Unlock()
+		return errWALBroken
+	}
 	b := w.stageLocked(id, offset, pts)
 	return w.commit(b)
 }
@@ -176,6 +202,10 @@ func (w *wal) appendAll(recs []walRecord) error {
 	if w.f == nil {
 		w.mu.Unlock()
 		return errors.New("store: wal closed")
+	}
+	if w.broken {
+		w.mu.Unlock()
+		return errWALBroken
 	}
 	var b *walBatch
 	for _, r := range recs {
@@ -233,10 +263,29 @@ func (w *wal) commit(b *walBatch) error {
 		cur := w.cur
 		w.cur = nil
 		f := w.f
+		broken := w.broken
 		w.mu.Unlock()
-		cur.err = w.flush(f, cur.buf)
+		var broke bool
+		if broken {
+			// A batch staged between a failed write and the leader's next
+			// loop turn: appending it would land past the torn record, so
+			// fail it without touching the segment. No onFlush — the flush
+			// that broke the segment already reported the disk error.
+			cur.err = errWALBroken
+		} else {
+			cur.err, broke = w.flush(f, cur.buf)
+			// The degradation callback runs before waiters are released, so
+			// a failing appender observes the store already flipped
+			// read-only and can wrap its error as ErrDegraded.
+			if w.onFlush != nil {
+				w.onFlush(cur.err, broke)
+			}
+		}
 		close(cur.done)
 		w.mu.Lock()
+		if broke {
+			w.broken = true
+		}
 		if w.spare == nil {
 			w.spare = cur.buf[:0] // recycle for the next batch
 		}
@@ -250,19 +299,35 @@ func (w *wal) commit(b *walBatch) error {
 }
 
 // flush writes one batch and, in sync mode, fsyncs it. Runs without w.mu:
-// rotate and close wait for writing to clear, so f stays valid.
-func (w *wal) flush(f *os.File, buf []byte) error {
+// rotate and close wait for writing to clear, so f stays valid. broke
+// reports a write failure — the segment tail is untrusted afterwards and
+// the caller must stop appending to it; sync failures leave the bytes
+// whole, so they are returned without breaking the segment.
+func (w *wal) flush(f *os.File, buf []byte) (err error, broke bool) {
 	w.batches.Add(1)
-	if _, err := f.Write(buf); err != nil {
-		return fmt.Errorf("store: wal append: %w", err)
-	}
-	if w.sync {
-		w.fsyncs.Add(1)
-		if err := f.Sync(); err != nil {
-			return fmt.Errorf("store: wal sync: %w", err)
+	if w.fault != nil {
+		if ferr := w.fault(faultinject.OpDiskFull); ferr != nil {
+			return fmt.Errorf("store: wal append: %w", ferr), true
 		}
 	}
-	return nil
+	if _, werr := f.Write(buf); werr != nil {
+		return fmt.Errorf("store: wal append: %w", werr), true
+	}
+	if w.sync {
+		if w.fault != nil {
+			if ferr := w.fault(faultinject.OpWALSyncLatency); ferr != nil {
+				return fmt.Errorf("store: wal sync: %w", ferr), false
+			}
+			if ferr := w.fault(faultinject.OpWALSyncError); ferr != nil {
+				return fmt.Errorf("store: wal sync: %w", ferr), false
+			}
+		}
+		w.fsyncs.Add(1)
+		if serr := f.Sync(); serr != nil {
+			return fmt.Errorf("store: wal sync: %w", serr), false
+		}
+	}
+	return nil, false
 }
 
 // quiesceLocked blocks until no leader is flushing. Batches cannot be
@@ -304,6 +369,68 @@ func (w *wal) rotate() ([]string, error) {
 		return nil, err
 	}
 	return append([]string(nil), w.frozen...), nil
+}
+
+// reset abandons the current segment and opens a fresh one, clearing the
+// broken flag: the recovery path after a degrade. The old segment may end
+// in a torn record (a short write mid-batch), so before freezing it the
+// tail is truncated back to its longest valid prefix — frozen segments are
+// replayed strictly, and an unrepaired tear would read as corruption at
+// the next Open. Records in the discarded tail were never acknowledged
+// (their appenders got the write error), so truncation loses nothing.
+//
+// reset is retryable: a segment whose repair fails stays parked in retired
+// (never frozen, never reclaimed) and is repaired on the next attempt, so
+// a still-failing disk cannot leave a torn segment where a future replay
+// would read it strictly. Until a reset succeeds, the damaged segment is
+// the newest on disk, which the tolerant final-segment replay handles if
+// the process dies first.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.quiesceLocked()
+	if w.f != nil {
+		path := w.f.Name()
+		// Best effort: the segment is being retired because the disk
+		// already failed once, so sync/close errors don't block the reset.
+		w.f.Sync()
+		w.f.Close()
+		w.f = nil
+		w.retired = append(w.retired, path)
+	}
+	for len(w.retired) > 0 {
+		if err := repairSegment(w.retired[0]); err != nil {
+			return fmt.Errorf("store: wal reset: %w", err)
+		}
+		w.frozen = append(w.frozen, w.retired[0])
+		w.retired = w.retired[1:]
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return err
+	}
+	w.broken = false
+	return nil
+}
+
+// repairSegment truncates path back to its longest prefix of valid
+// records, erasing a torn tail left by a failed write.
+func repairSegment(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	valid := 0
+	for valid < len(data) {
+		_, n, derr := decodeWALRecord(data[valid:])
+		if derr != nil {
+			break
+		}
+		valid += n
+	}
+	if valid == len(data) {
+		return nil
+	}
+	return os.Truncate(path, int64(valid))
 }
 
 // reclaim deletes frozen segments made obsolete by a durable snapshot.
