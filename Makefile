@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain bench-fleet chaos
+.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain bench-fleet bench-recovery chaos
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,7 @@ race:
 # WAL tails, injected WAL/snapshot/train faults, snapshot robustness, the
 # degraded read-only state machine, and the HTTP admission/shedding layer.
 chaos:
-	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard|Remove|Valve|Delay' -count=1 ./store/... ./internal/faultinject/...
+	$(GO) test -race -run 'Chaos|WAL|Train|Durable|Snapshot|Save|Load|NonFinite|Fail|Panic|Join|Shard|Remove|Valve|Delay|Checkpoint|Compat|Segment|Manifest|Orphan|Incremental|Compact' -count=1 ./store/... ./internal/faultinject/...
 	$(GO) test -race -run 'Admission|Degraded|Subscriber' -count=1 ./serve/...
 
 vet:
@@ -61,3 +61,10 @@ bench-retrain:
 # BENCH_fleet_query.json.
 bench-fleet:
 	$(GO) run ./cmd/hpmbench -experiment fleetquery -json
+
+# Persistence cost: incremental checkpoint pause and objects re-encoded
+# vs dirty shards (O(dirty) vs O(fleet)), full-rewrite and clean no-op
+# baselines, and recovery (Open) latency serial vs parallel at
+# 1k/10k/100k objects. Regenerates BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/hpmbench -experiment recovery -json

@@ -88,6 +88,10 @@ func BenchmarkIngestThroughput(b *testing.B) { benchExperiment(b, "ingest") }
 // scan, SSE push throughput, and per-observe maintenance overhead.
 func BenchmarkFleetQuery(b *testing.B) { benchExperiment(b, "fleetquery") }
 
+// Recovery and checkpoint cost: parallel Open and incremental O(dirty)
+// checkpoints vs full snapshot rewrites.
+func BenchmarkRecovery(b *testing.B) { benchExperiment(b, "recovery") }
+
 // --- micro-benchmarks -------------------------------------------------
 
 // benchPredictor trains one moderate Bike model for query benches.

@@ -82,6 +82,8 @@ func main() {
 		snapshot = flag.String("snapshot", "", "legacy fleet snapshot file: restored at start, saved on graceful shutdown only")
 		dataDir  = flag.String("data-dir", "", "durable store directory (WAL + snapshots); crash-safe, supersedes -snapshot")
 		snapEach = flag.Duration("snapshot-every", 5*time.Minute, "periodic snapshot interval with -data-dir (0 = shutdown only)")
+		compact  = flag.Int("compact-every", 0, "force a full snapshot rewrite every Nth checkpoint; between them only shards dirtied since the last checkpoint are rewritten (0 = never force)")
+		persistW = flag.Int("persist-workers", 0, "worker goroutines for checkpoint writes and recovery (segment load, WAL replay); 0 = GOMAXPROCS, 1 = serial")
 		walSync  = flag.Bool("wal-sync", true, "fsync the WAL on every observe; disable to trade crash durability for ingest throughput")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables")
 		evalOff  = flag.Bool("eval-off", false, "disable online prediction-quality evaluation (/metrics eval series stay zero)")
@@ -128,6 +130,8 @@ func main() {
 		MinTrainPeriods: *minDays,
 		RetrainEvery:    *retrain,
 		WALNoSync:       !*walSync,
+		CompactEvery:    *compact,
+		PersistWorkers:  *persistW,
 		EvalDisabled:    *evalOff,
 		DriftThreshold:  *drift,
 		AdaptiveRouting: *adaptive,

@@ -259,6 +259,26 @@ func TestRetrainQuickShape(t *testing.T) {
 	}
 }
 
+func TestRecoveryQuickShape(t *testing.T) {
+	figs := mustRun(t, "recovery")
+	if len(figs) != 4 {
+		t.Fatalf("recovery returned %d figures, want pause + objects + full + open", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// The O(dirty) contract itself: at every fleet size, an incremental
+	// checkpoint with one dirty shard must re-encode fewer objects than
+	// one with every shard dirty (the full-rewrite point).
+	for _, s := range figs[1].Series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if first >= last {
+			t.Errorf("%s: %v objects re-encoded at 1 dirty shard, %v at all dirty — not O(dirty)",
+				s.Name, first, last)
+		}
+	}
+}
+
 func mustRun(t *testing.T, name string) []Figure {
 	t.Helper()
 	e, ok := Get(name)

@@ -25,6 +25,17 @@ const (
 	// OpSnapshot fires at the start of a checkpoint; an error aborts the
 	// snapshot and keeps every WAL segment intact.
 	OpSnapshot Op = "snapshot"
+	// OpSnapshotShard fires before each per-shard segment write inside a
+	// checkpoint; an error aborts the checkpoint after some segments may
+	// already be on disk — the manifest is never updated, so the previous
+	// snapshot and every WAL segment stay authoritative.
+	OpSnapshotShard Op = "snapshot-shard"
+	// OpManifest fires twice per checkpoint: once before the manifest is
+	// committed (an error aborts with the old manifest intact) and once
+	// after the rename but before WAL reclaim (an error simulates a crash
+	// in the window where the new snapshot is live but obsolete WAL
+	// segments still exist — they must replay as no-ops).
+	OpManifest Op = "manifest"
 	// OpWALSyncError fires before each WAL group-commit fsync (and in the
 	// store's recovery probe); an error fails the sync without touching
 	// the segment's bytes, simulating a stalling or erroring disk flush.

@@ -54,6 +54,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("hpm_wal_batches_total", "WAL group commits (file writes).", fs.WAL.Batches)
 	counter("hpm_wal_fsyncs_total", "WAL fsyncs issued.", fs.WAL.Fsyncs)
 
+	// Checkpoint cost: rate(objects)/rate(checkpoints) is the per-pass
+	// re-encode volume — near the fleet size under full rewrites, near the
+	// dirty fraction under incremental checkpoints.
+	counter("hpm_checkpoints_total", "Completed checkpoints.", fs.Checkpoints)
+	counter("hpm_checkpoint_duration_seconds_total", "Cumulative wall-clock seconds spent in checkpoints.", fs.CheckpointSeconds)
+	counter("hpm_checkpoint_objects_written_total", "Objects re-encoded by checkpoints (dirty shards only when incremental).", fs.CheckpointObjects)
+	gauge("hpm_snapshot_bytes", "On-disk size of the current snapshot (manifest plus live segments).", fs.SnapshotBytes)
+
 	// Degradation ladder: the read-only state machine, its causes, and the
 	// admission layer's shedding. hpm_degraded is the alert-on gauge; the
 	// per-{endpoint,reason} shed series only appear once they fire (the

@@ -2,6 +2,8 @@ package store
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,5 +87,113 @@ func BenchmarkObserveParallel(b *testing.B) {
 				b.ReportMetric(float64(after.Batches-before.Batches)/float64(b.N), "batches/op")
 			})
 		}
+	}
+}
+
+// benchFleet opens a durable store with training disabled and fills it
+// with n objects of a few points each — enough to make segment encoding
+// the dominant checkpoint cost without paying model fits.
+func benchFleet(b *testing.B, dir string, n int) *Store {
+	b.Helper()
+	s, err := Open(dir, Options{
+		Config:          hpm.Config{Period: period},
+		MinTrainPeriods: 1 << 20,
+		WALNoSync:       true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := walPoints(0, 4)
+	const batch = 2048
+	for off := 0; off < n; off += batch {
+		end := off + batch
+		if end > n {
+			end = n
+		}
+		obs := make([]Observation, 0, end-off)
+		for i := off; i < end; i++ {
+			obs = append(obs, Observation{ID: fmt.Sprintf("obj-%06d", i), Points: pts})
+		}
+		if err := s.ObserveAll(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkCheckpoint measures the checkpoint pause at a fixed fleet
+// size. "full" dirties every object before each checkpoint (every shard
+// rewrites, the v2 worst case); "incremental" dirties one object, so
+// only that object's shard re-encodes and the rest chain from the
+// previous epoch — the O(dirty) contract as a number.
+func BenchmarkCheckpoint(b *testing.B) {
+	const fleet = 5000
+	pts := walPoints(4, 1)
+	for _, mode := range []string{"full", "incremental"} {
+		b.Run(fmt.Sprintf("%s/objects=%d", mode, fleet), func(b *testing.B) {
+			s := benchFleet(b, b.TempDir(), fleet)
+			defer s.Close()
+			if err := s.Checkpoint(); err != nil { // baseline epoch every run chains from
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if mode == "full" {
+					for sh := range s.shards {
+						s.shards[sh].dirty.Store(true)
+					}
+				} else if err := s.ObserveBatch("obj-000000", pts); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := s.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOpen measures recovery latency from a checkpointed store with
+// a short WAL tail, serial (workers=1) vs parallel (GOMAXPROCS). On a
+// single-CPU host the two coincide; the spread is the recovery
+// parallelism the format buys on real hardware.
+func BenchmarkOpen(b *testing.B) {
+	const fleet = 5000
+	dir := b.TempDir()
+	s := benchFleet(b, dir, fleet)
+	if err := s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.ObserveBatch("obj-000000", walPoints(4, 1)); err != nil {
+		b.Fatal(err)
+	}
+	crash(s) // leave a WAL tail for replay
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d/objects=%d", workers, fleet), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				re, err := Open(dir, Options{
+					Config:          hpm.Config{Period: period},
+					MinTrainPeriods: 1 << 20,
+					WALNoSync:       true,
+					PersistWorkers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				crash(re) // no checkpoint: keep the on-disk state identical
+				// Each Open leaves one fresh empty WAL segment; drop them so
+				// the replayed state doesn't grow with b.N.
+				segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+				for _, seg := range segs {
+					if fi, err := os.Stat(seg); err == nil && fi.Size() == 0 {
+						os.Remove(seg)
+					}
+				}
+				b.StartTimer()
+			}
+		})
 	}
 }

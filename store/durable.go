@@ -3,25 +3,33 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"hpm"
 	"hpm/internal/faultinject"
+	"hpm/internal/parallel"
 )
 
-// Durable stores: Open roots a store in a directory holding one snapshot
-// plus write-ahead-log segments. Every acknowledged observation is either
-// in the snapshot or in a WAL segment, so a crash at any instant loses
-// nothing acknowledged (in sync mode). Checkpoint compacts: it rotates
-// the WAL, writes a fresh snapshot atomically, and deletes the segments
-// the snapshot covers.
+// Durable stores: Open roots a store in a directory holding a snapshot —
+// a v3 manifest plus per-shard segment files (store/snapshot.go), or a
+// legacy v1/v2 single file — plus write-ahead-log segments. Every
+// acknowledged observation is either in the snapshot or in a WAL segment,
+// so a crash at any instant loses nothing acknowledged (in sync mode).
+// Checkpoint compacts: it rotates the WAL, rewrites the segments of
+// shards that changed since the last checkpoint (all of them on the
+// first, or when Options.CompactEvery forces a full rewrite), commits a
+// manifest atomically, and deletes the WAL segments the snapshot covers.
 
-// snapshotFile is the snapshot's name inside a durable store's directory.
+// snapshotFile is the snapshot's name inside a durable store's directory:
+// the v3 manifest, or a whole v1/v2 fleet stream.
 const snapshotFile = "snapshot.hpms"
 
 // Open opens (or creates) a durable store rooted at dir. When a snapshot
@@ -43,9 +51,10 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	path := filepath.Join(dir, snapshotFile)
 	var s *Store
+	var m *snapManifest
 	switch _, err := os.Stat(path); {
 	case err == nil:
-		if s, err = LoadFile(path); err != nil {
+		if s, m, err = loadSnapshotFile(path, opts.PersistWorkers); err != nil {
 			return nil, err
 		}
 		s.restored = true
@@ -56,23 +65,36 @@ func Open(dir string, opts Options) (*Store, error) {
 	default:
 		return nil, err
 	}
+	// Error paths from here on must close the store: replay may already
+	// have scheduled background trains, and the probe/stop machinery
+	// exists from New — a failed Open must not leak their goroutines.
 	s.dir = dir
+	s.manifest = m
 	s.opts.WALNoSync = opts.WALNoSync
-	// Like sync policy, the fleet index is process configuration: honoring
-	// the caller's setting lets an operator enable (or drop) the index on
-	// restart of an existing durable store.
+	// Like sync policy, the fleet index, compaction cadence and the
+	// persistence worker pool are process configuration: honoring the
+	// caller's settings lets an operator change them on restart of an
+	// existing durable store.
 	s.opts.FleetIndex = opts.FleetIndex
+	s.opts.CompactEvery = opts.CompactEvery
+	s.opts.PersistWorkers = opts.PersistWorkers
 	if err := s.initFleetIndex(); err != nil {
+		s.Close()
 		return nil, err
 	}
+	// Segment files no manifest references are leftovers of a checkpoint
+	// that died between writing segments and committing its manifest.
+	sweepSegments(dir, m)
 
 	w, err := openWAL(dir, !opts.WALNoSync)
 	if err != nil {
+		s.Close()
 		return nil, err
 	}
 	replayed, err := s.replaySegments(w.frozen)
 	if err != nil {
 		w.close()
+		s.Close()
 		return nil, err
 	}
 	s.replayed = replayed
@@ -102,13 +124,18 @@ func (s *Store) recoverModels() {
 		}
 		sh.mu.RUnlock()
 	}
-	for _, obj := range objs {
+	// Objects are independent here — each update touches only its own
+	// lock and the train pool's — so recovery fans out across the
+	// persistence workers (synchronous-training errors land in the ring
+	// exactly as they would serially).
+	parallel.For(len(objs), s.persistWorkers(), func(i int) {
+		obj := objs[i]
 		obj.mu.Lock()
 		if err := s.maybeUpdate(obj); err != nil {
 			s.recordTrainErr(err)
 		}
 		obj.mu.Unlock()
-	}
+	})
 }
 
 // replaySegments applies the WAL tail left by the previous process on top
@@ -126,28 +153,68 @@ func (s *Store) recoverModels() {
 // last tombstone in the stream; pass two skips (rather than rejects)
 // offset gaps only in records that tombstone would erase anyway, and
 // stays strict everywhere else.
+// Replay is parallel in two stages. Segments are decoded concurrently
+// (each yields its records, concatenated back in segment order, so the
+// global stream order is exactly what a serial read would produce), then
+// records are partitioned by shard and applied by a worker per shard
+// group: an id hashes to exactly one shard, and each group keeps stream
+// order, so per-object ordering — the only ordering replay relies on —
+// is preserved.
 func (s *Store) replaySegments(paths []string) (int, error) {
-	var recs []walRecord
-	lastTomb := map[string]int{} // id -> index in recs of its final tombstone
-	total := 0
-	for i, p := range paths {
-		final := i == len(paths)-1
-		n, err := replaySegment(p, final, func(rec walRecord) error {
-			if len(rec.pts) == 0 {
-				lastTomb[rec.id] = len(recs)
-			}
-			recs = append(recs, rec)
+	if len(paths) == 0 {
+		return 0, nil
+	}
+	workers := s.persistWorkers()
+	type segRecs struct {
+		recs []walRecord
+		n    int
+		err  error
+	}
+	decoded := make([]segRecs, len(paths))
+	parallel.For(len(paths), workers, func(i int) {
+		sr := &decoded[i]
+		sr.n, sr.err = replaySegment(paths[i], i == len(paths)-1, func(rec walRecord) error {
+			sr.recs = append(sr.recs, rec)
 			return nil
 		})
-		total += n
-		if err != nil {
-			return total, fmt.Errorf("store: replay %s: %w", filepath.Base(p), err)
+	})
+	total := 0
+	var recs []walRecord
+	for i := range decoded {
+		total += decoded[i].n
+		if err := decoded[i].err; err != nil {
+			return total, fmt.Errorf("store: replay %s: %w", filepath.Base(paths[i]), err)
+		}
+		recs = append(recs, decoded[i].recs...)
+	}
+	lastTomb := map[string]int{} // id -> index in recs of its final tombstone
+	for i, rec := range recs {
+		if len(rec.pts) == 0 {
+			lastTomb[rec.id] = i
 		}
 	}
+	byShard := make([][]int, len(s.shards))
 	for i, rec := range recs {
-		if err := s.applyReplay(rec, i < lastTomb[rec.id]); err != nil {
-			return total, err
+		si := s.shardIndex(rec.id)
+		byShard[si] = append(byShard[si], i)
+	}
+	groups := byShard[:0]
+	for _, g := range byShard {
+		if len(g) > 0 {
+			groups = append(groups, g)
 		}
+	}
+	errs := make([]error, len(groups))
+	parallel.For(len(groups), workers, func(gi int) {
+		for _, i := range groups[gi] {
+			if err := s.applyReplay(recs[i], i < lastTomb[recs[i].id]); err != nil {
+				errs[gi] = err
+				return
+			}
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return total, err
 	}
 	return total, nil
 }
@@ -163,6 +230,7 @@ func (s *Store) replaySegments(paths []string) (int, error) {
 func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 	if len(rec.pts) == 0 {
 		sh := s.shard(rec.id)
+		sh.dirty.Store(true)
 		sh.mu.Lock()
 		delete(sh.objects, rec.id)
 		sh.mu.Unlock()
@@ -172,8 +240,9 @@ func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 	if err != nil {
 		return err
 	}
-	// Replay runs single-threaded before the store is shared, but track
-	// mutation requires both locks by invariant; both are uncontended.
+	// Replay runs before the store is shared, parallel only across shards
+	// (one worker owns all of a shard's records), but track mutation
+	// requires both locks by invariant; both are uncontended.
 	obj.ingestMu.Lock()
 	defer obj.ingestMu.Unlock()
 	obj.mu.Lock()
@@ -191,6 +260,9 @@ func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 		return nil // fully covered by the snapshot (or an earlier record)
 	}
 	obj.track = append(obj.track, rec.pts[have-rec.offset:]...)
+	// Replayed records exist only in WAL segments the next checkpoint
+	// reclaims; their shard must be re-encoded by it.
+	s.markDirty(rec.id)
 	return s.maybeUpdate(obj)
 }
 
@@ -208,6 +280,25 @@ func (s *Store) Checkpoint() error {
 // is not healthy — recovery checkpoints from the recovering state, where
 // the public path would refuse — while the unforced path fails fast with
 // ErrDegraded rather than grind a dead disk through a snapshot write.
+//
+// The cost is O(dirty): only shards that changed since the last
+// checkpoint are re-encoded; clean shards' segment files are chained
+// from the previous manifest untouched. The sequence is crash-safe at
+// every step:
+//
+//  1. rotate the WAL — raced-in records land in the fresh segment;
+//  2. barrier on snapGate — every record committed to a rotated-away
+//     segment is applied in memory and has marked its shard dirty;
+//  3. swap each shard's dirty flag and rewrite exactly those shards'
+//     segments (in parallel, to their final epoch-stamped names — they
+//     are invisible until the manifest references them);
+//  4. commit the manifest atomically (temp + rename + dir sync);
+//  5. only then delete superseded segment files and the frozen WAL.
+//
+// A failure before step 4 restores the dirty flags and deletes the new
+// files: the old manifest and every WAL segment remain authoritative. A
+// crash between 4 and 5 leaves obsolete files that replay/sweep as
+// no-ops on the next Open.
 func (s *Store) checkpoint(force bool) error {
 	if s.wal == nil {
 		return errors.New("store: Checkpoint requires a store opened with Open")
@@ -222,12 +313,148 @@ func (s *Store) checkpoint(force bool) error {
 	if err := s.fault(faultinject.OpSnapshot); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
+	start := time.Now()
 	frozen, err := s.wal.rotate()
 	if err != nil {
 		return err
 	}
-	if err := s.SaveFile(filepath.Join(s.dir, snapshotFile)); err != nil {
+	// Barrier: an observer holds the gate's read side from before its WAL
+	// commit until its in-memory apply and dirty mark. Taking the write
+	// side here (and releasing it immediately) guarantees every record
+	// that made it into a rotated-away segment is both applied and
+	// reflected in the dirty flags we are about to read — otherwise a
+	// record could be durable only in a segment this checkpoint reclaims
+	// while its shard's rewrite misses it.
+	s.snapGate.Lock()
+	//lint:ignore SA2001 empty critical section is the barrier
+	s.snapGate.Unlock()
+
+	prev := s.manifest
+	full := prev == nil
+	if s.opts.CompactEvery > 0 && s.sinceCompact >= s.opts.CompactEvery-1 {
+		full = true
+	}
+	var epoch uint64 = 1
+	if prev != nil {
+		epoch = prev.epoch + 1
+	}
+	cleared := make([]bool, len(s.shards))
+	var rewrite []int
+	for i := range s.shards {
+		if s.shards[i].dirty.Swap(false) {
+			cleared[i] = true
+		}
+		if full || cleared[i] {
+			rewrite = append(rewrite, i)
+		}
+	}
+	if !full && len(rewrite) == 0 {
+		// Nothing changed since the last checkpoint. The barrier above
+		// proves every record in the frozen segments was already covered
+		// by the current manifest, so they reclaim safely; the manifest
+		// itself needn't move.
+		if err := s.fault(faultinject.OpManifest); err != nil {
+			return fmt.Errorf("store: manifest: %w", err)
+		}
+		s.wal.reclaim(frozen)
+		dur := time.Since(start)
+		s.checkpoints.Add(1)
+		s.checkpointNanos.Add(uint64(dur))
+		s.lastCheckpoint.Store(&CheckpointInfo{
+			When: time.Now(), Seconds: dur.Seconds(), Epoch: prev.epoch,
+		})
+		return nil
+	}
+
+	segs := make([]*snapSegment, len(rewrite))
+	errs := make([]error, len(rewrite))
+	parallel.For(len(rewrite), s.persistWorkers(), func(i int) {
+		segs[i], errs[i] = s.writeShardSegment(rewrite[i], epoch)
+	})
+	// Any pre-commit failure must leave the store exactly as it was: the
+	// shards we optimistically cleared are dirty again (their changes are
+	// still only in the WAL plus the old snapshot), and this epoch's
+	// half-written files are garbage.
+	fail := func(err error) error {
+		for i, c := range cleared {
+			if c {
+				s.shards[i].dirty.Store(true)
+			}
+		}
+		for _, sg := range segs {
+			if sg != nil {
+				os.Remove(filepath.Join(s.dir, sg.name))
+			}
+		}
 		return err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return fail(err)
+	}
+	// Make the new segments' directory entries durable before a manifest
+	// can reference them.
+	syncDir(s.dir)
+
+	next := &snapManifest{epoch: epoch}
+	rewritten := make(map[int]bool, len(rewrite))
+	for _, si := range rewrite {
+		rewritten[si] = true
+	}
+	if prev != nil {
+		for _, sg := range prev.segments {
+			if !rewritten[sg.shard] {
+				next.segments = append(next.segments, sg)
+			}
+		}
+	}
+	objects, written := 0, 0
+	for _, sg := range segs {
+		if sg != nil { // nil: the shard emptied out; it simply has no segment
+			next.segments = append(next.segments, *sg)
+			objects += sg.objects
+			written++
+		}
+	}
+	sort.Slice(next.segments, func(i, j int) bool {
+		return next.segments[i].shard < next.segments[j].shard
+	})
+	msize, err := s.writeManifest(next)
+	if err != nil {
+		return fail(err)
+	}
+	// Committed. From here the new manifest is authoritative; the rest is
+	// garbage collection.
+	s.manifest = next
+	if full {
+		s.sinceCompact = 0
+	} else {
+		s.sinceCompact++
+	}
+	dur := time.Since(start)
+	s.checkpoints.Add(1)
+	s.checkpointNanos.Add(uint64(dur))
+	s.checkpointObjs.Add(uint64(objects))
+	s.snapshotBytes.Store(uint64(msize + next.segmentBytes()))
+	s.lastCheckpoint.Store(&CheckpointInfo{
+		When:    time.Now(),
+		Seconds: dur.Seconds(),
+		Objects: objects,
+		Shards:  written,
+		Full:    full,
+		Epoch:   epoch,
+	})
+	// Crash window between manifest commit and reclaim: obsolete segment
+	// files and WAL segments survive, and the next Open sweeps/replays
+	// them as no-ops. The fault point simulates exactly that crash.
+	if err := s.fault(faultinject.OpManifest); err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	if prev != nil {
+		for _, sg := range prev.segments {
+			if rewritten[sg.shard] {
+				os.Remove(filepath.Join(s.dir, sg.name))
+			}
+		}
 	}
 	s.wal.reclaim(frozen)
 	return nil
@@ -275,26 +502,73 @@ func (s *Store) SaveFile(path string) error {
 	return nil
 }
 
-// LoadFile reads a snapshot written by SaveFile, verifying its whole-file
-// checksum before decoding. Corruption anywhere in the file — truncation,
-// a flipped bit, a foreign file — is an error, never a partial fleet.
+// LoadFile reads a snapshot written by SaveFile or Checkpoint, verifying
+// checksums before decoding. Corruption anywhere — truncation, a flipped
+// bit, a foreign file, a missing or damaged segment — is an error, never
+// a partial fleet.
 func LoadFile(path string) (*Store, error) {
-	data, err := os.ReadFile(path)
+	s, _, err := loadSnapshotFile(path, 0)
 	if err != nil {
 		return nil, err
 	}
+	s.rebuildIndex()
+	return s, nil
+}
+
+// loadSnapshotFile loads the snapshot rooted at path: a v3 manifest whose
+// segment files sit beside it, or a whole v1/v2 single-file fleet stream.
+// The index is NOT rebuilt — Open replays a WAL on top first. workers
+// bounds the segment-load parallelism; <= 0 resolves to the store's
+// default. On error no store (and none of its goroutines) survives.
+func loadSnapshotFile(path string, workers int) (*Store, *snapManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(data) < 4 {
-		return nil, fmt.Errorf("store: snapshot %s: too short to hold a checksum", path)
+		return nil, nil, fmt.Errorf("store: snapshot %s: too short to hold a checksum", path)
 	}
 	payload, trailer := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(trailer) {
-		return nil, fmt.Errorf("store: snapshot %s: checksum mismatch (corrupt or truncated)", path)
+		return nil, nil, fmt.Errorf("store: snapshot %s: checksum mismatch (corrupt or truncated)", path)
 	}
-	s, err := Load(bytes.NewReader(payload))
+	if len(payload) < len(snapshotMagic)+1 {
+		return nil, nil, fmt.Errorf("store: snapshot %s: too short to hold a header", path)
+	}
+	if string(payload[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, nil, fmt.Errorf("store: snapshot %s: not a snapshot (magic %q)", path, payload[:len(snapshotMagic)])
+	}
+	if version := int(payload[len(snapshotMagic)]); version == manifestVersion {
+		oj, m, err := parseManifest(payload[len(snapshotMagic)+1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		}
+		var opts Options
+		if err := json.Unmarshal(oj, &opts); err != nil {
+			return nil, nil, fmt.Errorf("store: snapshot %s: decode options: %w", path, err)
+		}
+		s, err := New(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if workers <= 0 {
+			workers = s.persistWorkers()
+		}
+		if err := s.loadSegments(filepath.Dir(path), m, workers); err != nil {
+			s.Close()
+			return nil, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		}
+		s.snapshotBytes.Store(uint64(int64(len(data)) + m.segmentBytes()))
+		return s, m, nil
+	}
+	// Legacy v1/v2: the whole fleet is this one stream. loadStream closes
+	// the partial store itself on error.
+	s, err := loadStream(bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+		return nil, nil, fmt.Errorf("store: snapshot %s: %w", path, err)
 	}
-	return s, nil
+	s.snapshotBytes.Store(uint64(len(data)))
+	return s, nil, nil
 }
 
 // crcWriter hashes everything written through it.

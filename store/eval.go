@@ -178,6 +178,17 @@ type FleetStats struct {
 	TrainSeconds  float64 `json:"trainSeconds"`
 	ExtendSeconds float64 `json:"extendSeconds"`
 	WAL           WALStats
+	// Checkpoints counts completed checkpoints; CheckpointSeconds and
+	// CheckpointObjects the cumulative wall-clock and objects re-encoded
+	// across them (incremental checkpoints re-encode only dirty shards, so
+	// objects-per-checkpoint tracks the dirty fraction, not the fleet).
+	// SnapshotBytes is the on-disk size of the current snapshot (manifest
+	// plus live segments); LastCheckpoint describes the most recent one.
+	Checkpoints       uint64          `json:"checkpoints"`
+	CheckpointSeconds float64         `json:"checkpointSeconds"`
+	CheckpointObjects uint64          `json:"checkpointObjects"`
+	SnapshotBytes     uint64          `json:"snapshotBytes"`
+	LastCheckpoint    *CheckpointInfo `json:"lastCheckpoint,omitempty"`
 	// Queries sums every object's query counters, including counters
 	// banked from predictors retired by retrains.
 	Queries hpm.QueryStats
@@ -218,6 +229,11 @@ func (s *Store) FleetStats() FleetStats {
 	}
 	fs.Eval = evalq.Summarize(s.opts.Eval, agg)
 	fs.WAL = s.WALStats()
+	fs.Checkpoints = s.checkpoints.Load()
+	fs.CheckpointSeconds = float64(s.checkpointNanos.Load()) / 1e9
+	fs.CheckpointObjects = s.checkpointObjs.Load()
+	fs.SnapshotBytes = s.snapshotBytes.Load()
+	fs.LastCheckpoint = s.lastCheckpoint.Load()
 	if s.index != nil {
 		fs.FleetIndex = true
 		fs.Spatial = s.index.Stats()

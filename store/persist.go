@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -24,8 +25,10 @@ const (
 	snapshotVersion = 2
 )
 
-// Save writes a snapshot of the whole store. Concurrent Observe calls are
-// blocked per object while its record is written.
+// Save writes a snapshot of the whole store in the single-file (v2)
+// format. Each object is captured under its read lock — concurrent
+// queries are never blocked, and that object's writers wait only for the
+// capture, not for the encode or the I/O behind it.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
@@ -47,30 +50,73 @@ func (s *Store) Save(w io.Writer) error {
 		if err != nil {
 			continue // removed concurrently; the count is a cap, see Load
 		}
-		obj.mu.Lock()
-		err = writeObject(bw, id, obj)
-		obj.mu.Unlock()
+		snap, err := snapshotObject(id, obj)
 		if err != nil {
+			return err
+		}
+		if err := snap.write(bw); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-func writeObject(bw *bufio.Writer, id string, obj *object) error {
-	writeBytes(bw, []byte(id))
-	writeUvarint(bw, uint64(obj.base))
-	writeUvarint(bw, uint64(len(obj.track)))
+// objectSnapshot is one object's persisted state, captured atomically
+// under the object's read lock so it can be encoded and written without
+// holding any lock at all. The track slice aliases the live backing
+// array, which is safe: appends never mutate [:len], and trims replace
+// the slice with a fresh copy instead of shifting in place. The model is
+// the one thing that mutates in place (Extend, under the write lock), so
+// it is serialized into its own buffer during the capture.
+type objectSnapshot struct {
+	id           string
+	base         int
+	modeled      int
+	sinceRetrain int
+	track        []hpm.Point
+	model        []byte // serialized predictor; nil when untrained
+}
+
+// snapshotObject captures one object's persisted state under its read
+// lock. Queries against the object proceed concurrently; its writers are
+// blocked only for the capture itself (the model serialize), never for
+// track encoding or file I/O.
+func snapshotObject(id string, obj *object) (objectSnapshot, error) {
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	snap := objectSnapshot{
+		id:           id,
+		base:         obj.base,
+		modeled:      obj.modeled,
+		sinceRetrain: obj.sinceRetrain,
+		track:        obj.track,
+	}
+	if obj.predictor != nil {
+		var buf bytes.Buffer
+		if err := obj.predictor.Save(&buf); err != nil {
+			return snap, fmt.Errorf("store: snapshot model for %q: %w", id, err)
+		}
+		snap.model = buf.Bytes()
+	}
+	return snap, nil
+}
+
+// write encodes the captured object in the format shared by v2 snapshot
+// streams and v3 segment files. Runs without any lock.
+func (snap objectSnapshot) write(bw *bufio.Writer) error {
+	writeBytes(bw, []byte(snap.id))
+	writeUvarint(bw, uint64(snap.base))
+	writeUvarint(bw, uint64(len(snap.track)))
 	var fb [8]byte
-	for _, p := range obj.track {
+	for _, p := range snap.track {
 		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(p.X))
 		bw.Write(fb[:])
 		binary.LittleEndian.PutUint64(fb[:], math.Float64bits(p.Y))
 		bw.Write(fb[:])
 	}
-	writeUvarint(bw, uint64(obj.modeled))
-	writeUvarint(bw, uint64(obj.sinceRetrain))
-	if obj.predictor == nil {
+	writeUvarint(bw, uint64(snap.modeled))
+	writeUvarint(bw, uint64(snap.sinceRetrain))
+	if snap.model == nil {
 		return writeByteChecked(bw, 0)
 	}
 	if err := writeByteChecked(bw, 1); err != nil {
@@ -78,11 +124,27 @@ func writeObject(bw *bufio.Writer, id string, obj *object) error {
 	}
 	// The model stream is self-delimiting (its own magic and trailer), so
 	// it nests directly.
-	return obj.predictor.Save(bw)
+	_, err := bw.Write(snap.model)
+	return err
 }
 
 // Load reads a snapshot written by Save and returns a ready store.
 func Load(r io.Reader) (*Store, error) {
+	s, err := loadStream(r)
+	if err != nil {
+		return nil, err
+	}
+	// Tracks and models were restored without passing through the observe
+	// path; recompute the fleet index from the recovered state.
+	s.rebuildIndex()
+	return s, nil
+}
+
+// loadStream is Load without the index rebuild, for callers (Open) that
+// replay a WAL on top and rebuild once at the end. On a decode error the
+// partially built store is closed — its background machinery (train
+// pool, probe channel) must not outlive the failed load.
+func loadStream(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(snapshotMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -110,9 +172,11 @@ func Load(r io.Reader) (*Store, error) {
 
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
+		s.Close()
 		return nil, fmt.Errorf("store: read object count: %w", err)
 	}
 	if count > 1<<24 {
+		s.Close()
 		return nil, fmt.Errorf("store: implausible object count %d", count)
 	}
 	for i := uint64(0); i < count; i++ {
@@ -122,12 +186,10 @@ func Load(r io.Reader) (*Store, error) {
 			if err == io.EOF {
 				break
 			}
+			s.Close()
 			return nil, err
 		}
 	}
-	// Tracks and models were restored without passing through the observe
-	// path; recompute the fleet index from the recovered state.
-	s.rebuildIndex()
 	return s, nil
 }
 

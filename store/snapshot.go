@@ -1,0 +1,380 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hpm/internal/faultinject"
+	"hpm/internal/parallel"
+)
+
+// Sharded snapshot format (v3). A durable store's directory holds a small
+// manifest (snapshotFile, the same name v1/v2 used for the whole fleet)
+// plus one segment file per non-empty shard:
+//
+//	manifest := "HPMS" 0x03 options-json uvarint(epoch)
+//	            uvarint(nsegments) nsegments×segment-entry  crc32c
+//	entry    := uvarint(shard) uvarint(objects) name uvarint(size) uint32(crc)
+//	segment  := "HPMG" 0x01 uvarint(shard) uvarint(count)
+//	            count×object-record  crc32c
+//
+// (options-json and name are uvarint-length-prefixed; object records are
+// the same encoding v2 streams use; every file carries a whole-file
+// CRC32-C trailer like SaveFile.)
+//
+// Segment files are written to their final, epoch-stamped names and are
+// invisible until a manifest referencing them is renamed into place — the
+// manifest commit is the checkpoint's atomic point. An incremental
+// checkpoint rewrites only dirty shards' segments and chains the previous
+// epoch's segments for clean shards, so its cost is O(changed objects),
+// not O(fleet). Segments no longer referenced are deleted after the
+// commit; leftovers from a crashed checkpoint are swept at Open.
+
+const (
+	// manifestVersion is the snapshot version byte that marks a sharded
+	// manifest instead of an inline v1/v2 object stream.
+	manifestVersion = 3
+
+	segmentMagic   = "HPMG"
+	segmentVersion = 1
+	// segmentFormat names a segment file by shard and epoch; the glob
+	// pattern matches all of them for the orphan sweep at Open.
+	segmentFormat  = "seg-%05d-%010d.hpms"
+	segmentPattern = "seg-*.hpms"
+
+	// maxManifestSegments bounds a decoded manifest against corruption
+	// (shard counts are capped at maxShards).
+	maxManifestSegments = maxShards
+)
+
+// snapSegment is one segment's manifest entry: which shard it holds, how
+// many objects it encodes, and the size and checksum that pin the file's
+// exact bytes — a missing or mismatched segment fails recovery loudly
+// instead of silently dropping a shard's objects.
+type snapSegment struct {
+	shard   int
+	objects int
+	name    string
+	size    int64
+	crc     uint32
+}
+
+// snapManifest is the decoded manifest: the snapshot epoch (bumped by
+// every checkpoint) and the live segments, ascending by shard.
+type snapManifest struct {
+	epoch    uint64
+	segments []snapSegment
+}
+
+// bytes is the total on-disk footprint of the manifest's segments.
+func (m *snapManifest) segmentBytes() int64 {
+	var n int64
+	for _, sg := range m.segments {
+		n += sg.size
+	}
+	return n
+}
+
+// writeShardSegment encodes one shard's objects into an epoch-stamped
+// segment file: header, one record per object (captured under each
+// object's read lock, encoded outside it), CRC trailer, fsync. Empty
+// shards produce no file and a nil entry. The file sits at its final name
+// but stays invisible to recovery until a manifest references it.
+func (s *Store) writeShardSegment(shardIdx int, epoch uint64) (*snapSegment, error) {
+	if err := s.fault(faultinject.OpSnapshotShard); err != nil {
+		return nil, fmt.Errorf("store: snapshot shard %d: %w", shardIdx, err)
+	}
+	sh := &s.shards[shardIdx]
+	sh.mu.RLock()
+	ids := make([]string, 0, len(sh.objects))
+	for id := range sh.objects {
+		ids = append(ids, id)
+	}
+	sh.mu.RUnlock()
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	sort.Strings(ids) // deterministic segment bytes for a given fleet state
+
+	name := fmt.Sprintf(segmentFormat, shardIdx, epoch)
+	path := filepath.Join(s.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	cw := &crcWriter{w: f}
+	bw := bufio.NewWriter(cw)
+	// Disk-full fault point, like SaveFile's: a failure anywhere in the
+	// segment write aborts the checkpoint before the manifest commit, so
+	// the previous snapshot and every WAL segment stay authoritative.
+	err = s.fault(faultinject.OpDiskFull)
+	if err == nil {
+		bw.WriteString(segmentMagic)
+		bw.WriteByte(segmentVersion)
+		writeUvarint(bw, uint64(shardIdx))
+		writeUvarint(bw, uint64(len(ids)))
+		err = s.writeSegmentObjects(bw, sh, ids)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	crc := cw.crc
+	if err == nil {
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], crc)
+		_, err = f.Write(trailer[:])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	return &snapSegment{shard: shardIdx, objects: len(ids), name: name, size: fi.Size(), crc: crc}, nil
+}
+
+// writeSegmentObjects captures and encodes each listed object that still
+// lives in the shard. An object removed after the listing is skipped —
+// its tombstone re-marked the shard dirty under the snapshot gate, so a
+// later checkpoint re-encodes without it; writing one extra object here
+// would merely be erased again by tombstone replay.
+func (s *Store) writeSegmentObjects(bw *bufio.Writer, sh *shard, ids []string) error {
+	for _, id := range ids {
+		sh.mu.RLock()
+		obj := sh.objects[id]
+		sh.mu.RUnlock()
+		if obj == nil {
+			continue
+		}
+		snap, err := snapshotObject(id, obj)
+		if err != nil {
+			return err
+		}
+		if err := snap.write(bw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeManifest atomically commits a manifest: temp file, CRC trailer,
+// fsync, rename over snapshotFile, directory sync. Returns the manifest
+// file's size for the snapshot-footprint gauge. Consults the manifest and
+// disk-full fault points before writing anything.
+func (s *Store) writeManifest(m *snapManifest) (int64, error) {
+	if err := s.fault(faultinject.OpManifest); err != nil {
+		return 0, fmt.Errorf("store: manifest: %w", err)
+	}
+	if err := s.fault(faultinject.OpDiskFull); err != nil {
+		return 0, fmt.Errorf("store: manifest: %w", err)
+	}
+	oj, err := json.Marshal(s.opts)
+	if err != nil {
+		return 0, fmt.Errorf("store: encode options: %w", err)
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.WriteString(snapshotMagic)
+	bw.WriteByte(manifestVersion)
+	writeBytes(bw, oj)
+	writeUvarint(bw, m.epoch)
+	writeUvarint(bw, uint64(len(m.segments)))
+	for _, sg := range m.segments {
+		writeUvarint(bw, uint64(sg.shard))
+		writeUvarint(bw, uint64(sg.objects))
+		writeBytes(bw, []byte(sg.name))
+		writeUvarint(bw, uint64(sg.size))
+		var cb [4]byte
+		binary.LittleEndian.PutUint32(cb[:], sg.crc)
+		bw.Write(cb[:])
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(buf.Bytes(), walCRC))
+	buf.Write(trailer[:])
+
+	path := filepath.Join(s.dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	_, err = f.Write(buf.Bytes())
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: manifest %s: %w", path, err)
+	}
+	syncDir(s.dir)
+	return int64(buf.Len()), nil
+}
+
+// parseManifest decodes a v3 manifest payload (CRC already verified and
+// stripped, header already consumed) into the options JSON and the
+// segment list.
+func parseManifest(payload []byte) (optsJSON []byte, m *snapManifest, err error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
+	oj, err := readBytes(br, 1<<20)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read options: %w", err)
+	}
+	m = &snapManifest{}
+	if m.epoch, err = binary.ReadUvarint(br); err != nil {
+		return nil, nil, fmt.Errorf("store: read epoch: %w", err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: read segment count: %w", err)
+	}
+	if n > maxManifestSegments {
+		return nil, nil, fmt.Errorf("store: implausible segment count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var sg snapSegment
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read segment shard: %w", err)
+		}
+		sg.shard = int(v)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, nil, fmt.Errorf("store: read segment objects: %w", err)
+		}
+		sg.objects = int(v)
+		name, err := readBytes(br, 4096)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: read segment name: %w", err)
+		}
+		// Segment names resolve relative to the manifest's directory; a
+		// path separator in one would escape it.
+		if filepath.Base(string(name)) != string(name) {
+			return nil, nil, fmt.Errorf("store: segment name %q is not a bare file name", name)
+		}
+		sg.name = string(name)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, nil, fmt.Errorf("store: read segment size: %w", err)
+		}
+		sg.size = int64(v)
+		var cb [4]byte
+		if _, err := io.ReadFull(br, cb[:]); err != nil {
+			return nil, nil, fmt.Errorf("store: read segment crc: %w", err)
+		}
+		sg.crc = binary.LittleEndian.Uint32(cb[:])
+		m.segments = append(m.segments, sg)
+	}
+	return oj, m, nil
+}
+
+// loadSegments restores every manifest segment into s, in parallel across
+// workers. Each segment maps to exactly one shard, so workers insert into
+// disjoint shard maps. Any missing, truncated or corrupt segment is a
+// loud error — recovery never silently drops a shard's objects.
+func (s *Store) loadSegments(dir string, m *snapManifest, workers int) error {
+	errs := make([]error, len(m.segments))
+	parallel.For(len(m.segments), workers, func(i int) {
+		errs[i] = s.loadSegment(dir, m.segments[i])
+	})
+	return errors.Join(errs...)
+}
+
+// loadSegment verifies one segment file against its manifest entry (size,
+// whole-file CRC) and decodes its objects into the store.
+func (s *Store) loadSegment(dir string, sg snapSegment) error {
+	path := filepath.Join(dir, sg.name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", sg.name, err)
+	}
+	if int64(len(data)) != sg.size {
+		return fmt.Errorf("store: segment %s: size %d, manifest says %d (corrupt or truncated)", sg.name, len(data), sg.size)
+	}
+	if len(data) < len(segmentMagic)+1+4 {
+		return fmt.Errorf("store: segment %s: too short", sg.name)
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	crc := crc32.Checksum(payload, walCRC)
+	if crc != binary.LittleEndian.Uint32(trailer) || crc != sg.crc {
+		return fmt.Errorf("store: segment %s: checksum mismatch (corrupt or truncated)", sg.name)
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+	head := make([]byte, len(segmentMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("store: segment %s: read header: %w", sg.name, err)
+	}
+	if string(head[:len(segmentMagic)]) != segmentMagic {
+		return fmt.Errorf("store: segment %s: not a segment (magic %q)", sg.name, head[:len(segmentMagic)])
+	}
+	if v := int(head[len(segmentMagic)]); v != segmentVersion {
+		return fmt.Errorf("store: segment %s: unsupported version %d", sg.name, v)
+	}
+	shardIdx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: segment %s: read shard: %w", sg.name, err)
+	}
+	if int(shardIdx) != sg.shard {
+		return fmt.Errorf("store: segment %s: holds shard %d, manifest says %d", sg.name, shardIdx, sg.shard)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("store: segment %s: read object count: %w", sg.name, err)
+	}
+	if int(count) != sg.objects {
+		return fmt.Errorf("store: segment %s: holds %d objects, manifest says %d", sg.name, count, sg.objects)
+	}
+	for i := uint64(0); i < count; i++ {
+		// Segment records carry the track base, like v2 stream records.
+		if err := readObject(br, s, snapshotVersion); err != nil {
+			return fmt.Errorf("store: segment %s: %w", sg.name, err)
+		}
+	}
+	return nil
+}
+
+// sweepSegments deletes segment files the manifest does not reference:
+// leftovers of a checkpoint that crashed after writing segments but
+// before committing its manifest, or of a failed post-commit cleanup.
+// With a nil manifest (fresh store, or a v1/v2 single-file snapshot)
+// every segment file is an orphan.
+func sweepSegments(dir string, m *snapManifest) {
+	matches, err := filepath.Glob(filepath.Join(dir, segmentPattern))
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	live := make(map[string]bool)
+	if m != nil {
+		for _, sg := range m.segments {
+			live[sg.name] = true
+		}
+	}
+	for _, p := range matches {
+		if !live[filepath.Base(p)] {
+			os.Remove(p)
+		}
+	}
+}

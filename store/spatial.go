@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hpm"
+	"hpm/internal/parallel"
 	"hpm/internal/spatial"
 )
 
@@ -132,12 +133,24 @@ func (s *Store) indexUpdateLocked(obj *object) {
 }
 
 // rebuildIndex recomputes every object's entries — restart recovery, where
-// tracks were restored without passing through the observe path.
+// tracks were restored without passing through the observe path. Objects
+// are independent (spatial.Index is safe for arbitrary interleaving), so
+// the work fans out across the persistence workers.
 func (s *Store) rebuildIndex() {
 	if s.index == nil {
 		return
 	}
-	s.forEachObject(func(_ string, obj *object) {
+	var objs []*object
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, obj := range sh.objects {
+			objs = append(objs, obj)
+		}
+		sh.mu.RUnlock()
+	}
+	parallel.For(len(objs), s.persistWorkers(), func(i int) {
+		obj := objs[i]
 		obj.mu.Lock()
 		s.indexUpdateLocked(obj)
 		obj.mu.Unlock()

@@ -152,6 +152,20 @@ type Options struct {
 	// WALNoSync, this is process configuration: Open applies it over
 	// whatever a restored snapshot recorded.
 	FleetIndex *spatial.Config
+	// CompactEvery forces every Nth checkpoint of a durable store to be a
+	// full rewrite — every shard's segment is re-encoded, not just the
+	// dirty ones — bounding how stale a clean shard's segment may grow
+	// (and re-packing after heavy Remove traffic). 0 (the default) never
+	// forces: incremental checkpoints already keep exactly one live
+	// segment per shard, so compaction is a policy choice, not a
+	// correctness need. Process configuration, like WALNoSync.
+	CompactEvery int
+	// PersistWorkers bounds the worker pool used for snapshot segment
+	// writes, parallel segment loads, sharded WAL replay and the index
+	// rebuild at Open. Values <= 0 default to runtime.GOMAXPROCS(0); 1
+	// forces the serial path (benchmark baseline). Process configuration,
+	// like WALNoSync.
+	PersistWorkers int
 }
 
 // Defaults for Options fields left at their zero value.
@@ -292,6 +306,35 @@ type Store struct {
 	replayed     int  // WAL records replayed at Open
 	checkpointMu sync.Mutex
 
+	// v3 snapshot state, guarded by checkpointMu: the manifest describing
+	// the segment files on disk and how many checkpoints ran since the
+	// last full rewrite (Options.CompactEvery).
+	manifest     *snapManifest
+	sinceCompact int
+
+	// snapGate orders in-flight observe applies against checkpoints. Every
+	// observe path holds the read side from before its WAL commit until
+	// its track apply and dirty mark are done; a checkpoint takes the
+	// write side once — releasing it immediately — after rotating the WAL
+	// and before collecting the dirty set. That barrier guarantees any
+	// record committed to a rotated-away (about to be reclaimed) segment
+	// is applied and dirty-marked before the shards are encoded; without
+	// it, a record could be durable only in a reclaimed segment while its
+	// in-memory apply raced past the shard encode — acknowledged, then
+	// lost on the next crash.
+	snapGate sync.RWMutex
+
+	// Checkpoint accounting for Health, FleetStats and /metrics:
+	// completed checkpoints, cumulative checkpoint wall-clock, objects
+	// encoded into rewritten segments, the current on-disk snapshot
+	// footprint (manifest plus live segments), and the last checkpoint's
+	// summary.
+	checkpoints     atomic.Uint64
+	checkpointNanos atomic.Uint64
+	checkpointObjs  atomic.Uint64
+	snapshotBytes   atomic.Uint64
+	lastCheckpoint  atomic.Pointer[CheckpointInfo]
+
 	// Degradation state machine (store/degrade.go): state is one of
 	// stateHealthy/stateDegraded/stateRecovering, syncFails counts
 	// consecutive WAL fsync failures toward Options.DegradeAfter, and the
@@ -341,9 +384,13 @@ type Store struct {
 }
 
 // shard is one slice of the object table: a sub-map under its own lock.
+// dirty marks that some object in the shard changed — observe, model
+// update, remove, WAL replay — since the last checkpoint encoded it; the
+// next incremental checkpoint rewrites only dirty shards' segments.
 type shard struct {
 	mu      sync.RWMutex
 	objects map[string]*object
+	dirty   atomic.Bool
 }
 
 // object is one tracked object's state. mu is a read-write lock: queries
@@ -444,12 +491,38 @@ func (s *Store) Period() int { return s.opts.Config.Period }
 // shard picks the object's shard by FNV-1a over its id. Inlined rather
 // than hash/fnv to keep the hot ingest path free of a hasher allocation.
 func (s *Store) shard(id string) *shard {
+	return &s.shards[s.shardIndex(id)]
+}
+
+// shardIndex is shard as an index, for paths that partition work by shard
+// (segment writes, sharded WAL replay).
+func (s *Store) shardIndex(id string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return &s.shards[h&s.shardMask]
+	return h & s.shardMask
+}
+
+// markDirty flags id's shard as changed since the last checkpoint. The
+// load-before-store keeps the hot path from bouncing the flag's cache
+// line when the shard is already dirty (the common case between
+// checkpoints).
+func (s *Store) markDirty(id string) {
+	sh := s.shard(id)
+	if !sh.dirty.Load() {
+		sh.dirty.Store(true)
+	}
+}
+
+// persistWorkers is the worker count for parallel persistence work
+// (segment writes and loads, sharded replay, index rebuild).
+func (s *Store) persistWorkers() int {
+	if s.opts.PersistWorkers > 0 {
+		return s.opts.PersistWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // newObject allocates an object's state under the store's options.
@@ -515,10 +588,17 @@ func (s *Store) observeLocked(ctx context.Context, obj *object, id string, locs 
 	if err := ctx.Err(); err != nil {
 		return err // not acknowledged: nothing staged yet
 	}
+	// The snapshot gate spans commit through apply + dirty mark, so a
+	// checkpoint that rotated the WAL cannot collect the dirty set while
+	// this record sits durable-but-unapplied in a segment it is about to
+	// reclaim. Released before the model update: extends and synchronous
+	// trains must not extend the checkpoint's barrier wait.
+	s.snapGate.RLock()
 	if s.wal != nil {
 		// Track mutation requires ingestMu, so the offset read is stable
 		// without obj.mu and stays the track length until we apply below.
 		if err := s.walAppend(id, obj.base+len(obj.track), locs); err != nil {
+			s.snapGate.RUnlock()
 			return err // not acknowledged: the track is untouched
 		}
 	}
@@ -526,6 +606,8 @@ func (s *Store) observeLocked(ctx context.Context, obj *object, id string, locs 
 	defer obj.mu.Unlock()
 	base := obj.base + len(obj.track)
 	obj.track = append(obj.track, locs...)
+	s.markDirty(id)
+	s.snapGate.RUnlock()
 	if obj.eval != nil {
 		s.scoreLocked(obj, base, locs)
 	}
@@ -627,22 +709,36 @@ acquire:
 	if err := ctx.Err(); err != nil {
 		return err // canceled while acquiring locks: nothing staged yet
 	}
+	// Commit and track apply run under the snapshot gate (see
+	// observeLocked); scoring and model updates run after it so a slow
+	// extend cannot extend a checkpoint's barrier wait.
+	s.snapGate.RLock()
 	if s.wal != nil {
 		recs := make([]walRecord, len(groups))
 		for i, g := range groups {
 			recs[i] = walRecord{id: g.id, offset: g.obj.base + len(g.obj.track), pts: g.pts}
 		}
 		if err := s.walAppendAll(recs); err != nil {
+			s.snapGate.RUnlock()
 			return err // nothing acknowledged: no track was touched
 		}
 	}
-	var errs []error
-	for _, g := range groups {
+	bases := make([]int, len(groups))
+	for i := range groups {
+		g := &groups[i]
 		g.obj.mu.Lock()
-		base := g.obj.base + len(g.obj.track)
+		bases[i] = g.obj.base + len(g.obj.track)
 		g.obj.track = append(g.obj.track, g.pts...)
+		s.markDirty(g.id)
+		g.obj.mu.Unlock()
+	}
+	s.snapGate.RUnlock()
+	var errs []error
+	for i := range groups {
+		g := &groups[i]
+		g.obj.mu.Lock()
 		if g.obj.eval != nil {
-			s.scoreLocked(g.obj, base, g.pts)
+			s.scoreLocked(g.obj, bases[i], g.pts)
 		}
 		if err := s.maybeUpdate(g.obj); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", g.id, err))
@@ -740,6 +836,10 @@ func (s *Store) extendLocked(obj *object, completed, newPeriods int) error {
 	obj.sinceRetrain += newPeriods
 	obj.modeled = completed
 	s.trimLocked(obj)
+	// The model (and possibly the trimmed track) changed without an
+	// observe in this call path (recovery catch-up, post-train catch-up):
+	// the shard's segment must be rewritten at the next checkpoint.
+	s.markDirty(obj.id)
 	return nil
 }
 
@@ -795,6 +895,7 @@ func (s *Store) train(obj *object, completed int) error {
 	obj.lastTrainErr = nil
 	obj.swapPredictor(p, completed)
 	s.trimLocked(obj)
+	s.markDirty(obj.id)
 	return nil
 }
 
@@ -895,6 +996,7 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 		obj.lastTrainErr = nil
 		obj.swapPredictor(p, completed)
 		s.trimLocked(obj)
+		s.markDirty(obj.id)
 		// Catch up: extend (or re-schedule a retrain) over periods that
 		// completed while this train was running.
 		if uerr := s.maybeUpdate(obj); uerr != nil {
@@ -1213,6 +1315,28 @@ type Health struct {
 	// (oldest first, cleared by Flush).
 	TrainFailures     uint64   `json:"trainFailures"`
 	RecentTrainErrors []string `json:"recentTrainErrors,omitempty"`
+	// Checkpoints counts completed checkpoints since Open, SnapshotBytes
+	// is the current on-disk snapshot footprint (manifest plus live
+	// segments), and LastCheckpoint summarizes the most recent one.
+	Checkpoints    uint64          `json:"checkpoints"`
+	SnapshotBytes  uint64          `json:"snapshotBytes"`
+	LastCheckpoint *CheckpointInfo `json:"lastCheckpoint,omitempty"`
+}
+
+// CheckpointInfo summarizes one completed checkpoint for Health.
+type CheckpointInfo struct {
+	When    time.Time `json:"when"`
+	Seconds float64   `json:"seconds"`
+	// Objects and Shards count what this checkpoint actually encoded: an
+	// incremental checkpoint rewrites only dirty shards' segments, so
+	// both stay near zero on a quiet fleet.
+	Objects int `json:"objects"`
+	Shards  int `json:"shards"`
+	// Full marks a whole-fleet rewrite (first checkpoint after Open, or
+	// one forced by Options.CompactEvery); Epoch is the snapshot epoch
+	// the checkpoint committed.
+	Full  bool   `json:"full"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // Health reports the store's current health without draining the train
@@ -1240,6 +1364,9 @@ func (s *Store) Health() Health {
 		WALErrors:        s.walErrors.Load(),
 		Degrades:         s.degrades.Load(),
 		Recoveries:       s.recoveries.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		SnapshotBytes:    s.snapshotBytes.Load(),
+		LastCheckpoint:   s.lastCheckpoint.Load(),
 	}
 	if err := s.lastWALError(); err != nil {
 		h.LastWALError = err.Error()
@@ -1286,6 +1413,11 @@ func (s *Store) Remove(id string) error {
 	if obj.removed {
 		return nil // lost a race with another Remove
 	}
+	// Tombstone commit and map delete ride the snapshot gate like observe
+	// applies: a checkpoint reclaiming the tombstone's segment must see
+	// the shard dirty and re-encode it without the object.
+	s.snapGate.RLock()
+	defer s.snapGate.RUnlock()
 	if s.wal != nil {
 		if err := s.walRemove(id); err != nil {
 			return err // not acknowledged: the object stays
@@ -1293,6 +1425,7 @@ func (s *Store) Remove(id string) error {
 	}
 	obj.removed = true
 	sh := s.shard(id)
+	sh.dirty.Store(true)
 	sh.mu.Lock()
 	// Guard against deleting a successor: a writer that raced this Remove
 	// may already have re-created the id with a fresh object.
