@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-retrain bench-fleet bench-recovery chaos
+.PHONY: build test race vet bench bench-query bench-ingest bench-eval bench-markov bench-retrain bench-fleet bench-recovery chaos
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # the HTTP service, the fault-injection helpers, and the parallel
 # training pipeline.
 race:
-	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./internal/spatial/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
+	$(GO) test -race ./internal/hpa/... ./internal/evalq/... ./internal/markov/... ./internal/spatial/... ./store/... ./serve/... ./internal/core/... ./internal/faultinject/...
 
 # Crash-safety suite under the race detector: kill/restart recovery, torn
 # WAL tails, injected WAL/snapshot/train faults, snapshot robustness, the
@@ -48,6 +48,12 @@ bench-ingest:
 # horizon. Regenerates BENCH_eval.json.
 bench-eval:
 	$(GO) run ./cmd/hpmbench -experiment eval -json
+
+# Three-way ensemble accuracy: pattern vs markov vs motion per horizon,
+# plus measured adaptive routing against the best single path, on every
+# dataset. Regenerates BENCH_markov.json.
+bench-markov:
+	$(GO) run ./cmd/hpmbench -experiment markov -json
 
 # Model-maintenance cost: full batch retrain vs incremental Extend as
 # history grows, with the accuracy divergence between the two. Regenerates

@@ -90,7 +90,10 @@ func main() {
 		evalHit  = flag.Float64("eval-hit-distance", 0, "distance within which a scored prediction counts as a hit (0 = default 30)")
 		evalRing = flag.Int("eval-ring", 0, "outstanding predictions kept per object awaiting truth (0 = default 64)")
 		drift    = flag.Float64("drift-threshold", 0, "mean-error EWMA above which an early retrain fires (0 = drift retraining off)")
-		adaptive = flag.Bool("adaptive-routing", false, "answer via motion fallback when it measurably beats the pattern path at a horizon")
+		adaptive = flag.Bool("adaptive-routing", false, "route each query to whichever path — pattern, markov or motion fallback — measurably leads at its horizon")
+
+		markovOrder = flag.Int("markov-order", 0, "max context length of the Markov next-region predictor (0 = default 3, negative = disable the markov path)")
+		markovMin   = flag.Int("markov-min-count", 0, "observations a region transition needs before the markov path will use it (0 = default 2)")
 
 		fleetIndex = flag.Bool("fleet-index", false, "maintain the fleet spatial index: enables /query/range, /query/knn and /subscribe")
 		indexCell  = flag.Float64("index-cell", 50, "fleet-index grid cell size in world units")
@@ -126,6 +129,8 @@ func main() {
 			MinPts:           *minPts,
 			DistantThreshold: *distant,
 			Parallelism:      *workers,
+			MarkovOrder:      *markovOrder,
+			MarkovMinCount:   *markovMin,
 		},
 		MinTrainPeriods: *minDays,
 		RetrainEvery:    *retrain,

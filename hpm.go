@@ -84,10 +84,12 @@ type Source = hpa.Source
 const (
 	SourcePattern = hpa.SourcePattern
 	SourceMotion  = hpa.SourceMotion
+	SourceMarkov  = hpa.SourceMarkov
 )
 
 // Path tells which branch of the hybrid algorithm answered a query: FQP
-// for near queries, BQP for distant ones, or the motion-function fallback.
+// for near queries, BQP for distant ones, the Markov region-transition
+// chain, or the motion-function fallback.
 type Path = hpa.Path
 
 // Answering paths.
@@ -95,7 +97,13 @@ const (
 	PathForward  = hpa.PathForward
 	PathBackward = hpa.PathBackward
 	PathFallback = hpa.PathFallback
+	PathMarkov   = hpa.PathMarkov
 )
+
+// Paths returns every answering path, in persisted-index order. Exporters
+// and stats consumers iterate this registry instead of hand-enumerating
+// path labels, so adding a path cannot silently desynchronize them.
+func Paths() []Path { return hpa.Paths() }
 
 // WeightFunc selects the premise-similarity weight function of §VI-A.
 type WeightFunc = hpa.WeightFunc
@@ -180,6 +188,15 @@ type Config struct {
 	Retrospect   int
 	MotionWindow int
 
+	// MarkovOrder is the maximum context length of the Markov
+	// region-transition chain, the third answering path: 0 takes the
+	// default (order 3), negative disables the chain. MarkovMinCount is
+	// the observation floor a chain context needs before it may answer
+	// (0 = default 2). The chain's sliding-window decay follows
+	// RetainPeriods.
+	MarkovOrder    int
+	MarkovMinCount int
+
 	// Bounds clamps motion-function output; nil derives bounds from the
 	// training data with a 10% margin.
 	Bounds *Rect
@@ -213,6 +230,8 @@ func (c Config) toParams() core.Params {
 		DistantThreshold:       c.DistantThreshold,
 		TimeRelaxation:         c.TimeRelaxation,
 		Weight:                 c.Weight,
+		MarkovOrder:            c.MarkovOrder,
+		MarkovMinCount:         c.MarkovMinCount,
 		Motion:                 c.Motion,
 		RMF: motion.RMFConfig{
 			Retrospect: c.Retrospect,
@@ -304,6 +323,18 @@ func (p *Predictor) PredictBatch(recent []TimedPoint, tqs []int, k int) ([][]Pre
 func (p *Predictor) PredictFallback(recent []TimedPoint, tq int) ([]Prediction, error) {
 	return p.model.PredictFallback(recent, tq)
 }
+
+// PredictMarkov answers a query from the Markov region-transition chain
+// alone, bypassing the pattern paths and falling through to the motion
+// function when the chain declines — exposed so callers can shadow-score
+// the chain online the way PredictFallback shadow-scores the RMF.
+func (p *Predictor) PredictMarkov(recent []TimedPoint, tq int) ([]Prediction, error) {
+	return p.model.PredictMarkov(recent, tq)
+}
+
+// MarkovObserve folds one acknowledged observation at absolute time t
+// into the Markov chain. A no-op when the chain is disabled.
+func (p *Predictor) MarkovObserve(t int, pt Point) { p.model.MarkovObserve(t, pt) }
 
 // IsDistant reports whether a query at time tq, issued when the object's
 // current time is tc, dispatches to Backward Query Processing

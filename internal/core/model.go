@@ -16,6 +16,7 @@ import (
 
 	"hpm/internal/geom"
 	"hpm/internal/hpa"
+	"hpm/internal/markov"
 	"hpm/internal/motion"
 	"hpm/internal/parallel"
 	"hpm/internal/pattern"
@@ -87,6 +88,14 @@ type Params struct {
 	// DisablePremisePenalty turns off Equation 5's d/(tq−tc) factor in
 	// BQP ranking (ablation).
 	DisablePremisePenalty bool
+	// MarkovOrder is the maximum context length of the region-transition
+	// Markov chain (third answering path). 0 takes markov.DefaultMaxOrder;
+	// a negative value disables the chain entirely, restoring the
+	// two-path pattern→motion behaviour.
+	MarkovOrder int
+	// MarkovMinCount is the observation floor a chain context must reach
+	// before it may answer; 0 takes markov.DefaultMinCount.
+	MarkovMinCount int
 	// Motion selects the fallback predictor; RMF configures it.
 	Motion MotionKind
 	RMF    motion.RMFConfig
@@ -155,6 +164,9 @@ type Model struct {
 	encoder  *pattern.Encoder
 	engine   *hpa.Engine
 	bounds   geom.Rect
+	// chain is the Markov answering path's region-transition chain (see
+	// markov.go); nil when Params.MarkovOrder < 0 disables the path.
+	chain *markov.Chain
 
 	// Incremental-training state (see extend.go). The miner is built
 	// lazily on the first Extend — batch training and deserialization
@@ -227,7 +239,7 @@ func TrainSubTrajectories(subs []trajectory.SubTrajectory, params Params) (*Mode
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
+	m := &Model{
 		params:   params,
 		regions:  regions,
 		patterns: patterns,
@@ -235,7 +247,10 @@ func TrainSubTrajectories(subs []trajectory.SubTrajectory, params Params) (*Mode
 		encoder:  enc,
 		engine:   engine,
 		bounds:   *bounds,
-	}, nil
+	}
+	m.initMarkov()
+	m.foldMarkov(subs)
+	return m, nil
 }
 
 func motionFactory(params Params, bounds *geom.Rect) func() motion.Function {

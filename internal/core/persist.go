@@ -156,7 +156,7 @@ func assemble(params Params, regions *pattern.RegionTable, patterns []pattern.Pa
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
+	m := &Model{
 		params:   params,
 		regions:  regions,
 		patterns: patterns,
@@ -164,5 +164,10 @@ func assemble(params Params, regions *pattern.RegionTable, patterns []pattern.Pa
 		engine:   engine,
 		bounds:   bounds,
 		stats:    pattern.Stats{Rules: len(patterns)},
-	}, nil
+	}
+	// The chain starts empty on load: its state lives outside the model
+	// stream, so the owner either restores it (LoadMarkov) or re-folds the
+	// retained track (RebuildMarkov).
+	m.initMarkov()
+	return m, nil
 }

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b",
 		"pruning", "weights", "fallback", "bqp-penalty", "trelax", "tpt-chooseleaf",
-		"eval", "retrain",
+		"eval", "retrain", "markov", "fleetquery", "recovery",
 	}
 	names := Names()
 	have := map[string]bool{}
@@ -225,6 +225,48 @@ func TestEvalQuickShape(t *testing.T) {
 	if hpmErr.Y[last] >= rmfErr.Y[last] {
 		t.Errorf("eval Bike: online error %v not below fallback %v at max horizon",
 			hpmErr.Y[last], rmfErr.Y[last])
+	}
+}
+
+func TestMarkovQuickShape(t *testing.T) {
+	figs := mustRun(t, "markov")
+	if len(figs)%3 != 0 {
+		t.Fatalf("markov returned %d figures, want hit+error+routing triples", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// Per dataset: the hit and error figures carry the three single paths
+	// plus the routed column; the routing figure compares routing against
+	// the best single path.
+	for i := 0; i < len(figs); i += 3 {
+		hit, errFig, routing := figs[i], figs[i+1], figs[i+2]
+		if len(hit.Series) != 4 || len(errFig.Series) != 4 {
+			t.Fatalf("%s: %d/%d series, want 4 ensemble columns", hit.ID, len(hit.Series), len(errFig.Series))
+		}
+		if len(routing.Series) != 2 {
+			t.Fatalf("%s: %d series, want routing vs best single", routing.ID, len(routing.Series))
+		}
+		// Lenient accuracy bound for quick mode: measured routing must not
+		// be worse than the worst single path overall. The full run's
+		// routing-vs-best-single comparison lives in BENCH_markov.json.
+		mean := func(s Series) float64 {
+			var sum float64
+			for _, y := range s.Y {
+				sum += y
+			}
+			return sum / float64(len(s.Y))
+		}
+		routed := mean(errFig.Series[3])
+		worst := 0.0
+		for _, s := range errFig.Series[:3] {
+			if m := mean(s); m > worst {
+				worst = m
+			}
+		}
+		if routed > worst {
+			t.Errorf("%s: routed mean error %v above the worst single path %v", errFig.ID, routed, worst)
+		}
 	}
 }
 

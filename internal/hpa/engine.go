@@ -22,14 +22,19 @@ type Source int
 const (
 	SourcePattern Source = iota // a trajectory pattern's consequence center
 	SourceMotion                // the motion-function fallback
+	SourceMarkov                // the variable-order region-transition chain
 )
 
 // String implements fmt.Stringer.
 func (s Source) String() string {
-	if s == SourcePattern {
+	switch s {
+	case SourcePattern:
 		return "pattern"
+	case SourceMarkov:
+		return "markov"
+	default:
+		return "motion"
 	}
-	return "motion"
 }
 
 // Path identifies which branch of the Hybrid Prediction Algorithm produced
@@ -39,11 +44,17 @@ func (s Source) String() string {
 // per horizon.
 type Path uint8
 
-// Answering paths.
+// Answering paths. PathMarkov is appended after the original three so
+// persisted path indices (evaluation cells, snapshots) keep their meaning.
 const (
 	PathForward  Path = iota // FQP: near query answered by patterns
 	PathBackward             // BQP: distant query answered by patterns
 	PathFallback             // RMF motion-function fallback
+	PathMarkov               // variable-order Markov region chain
+
+	// NumPaths is the size of the path enum; per-path arrays (evaluation
+	// cells, label sets) are dimensioned by it.
+	NumPaths
 )
 
 // String implements fmt.Stringer.
@@ -53,9 +64,19 @@ func (p Path) String() string {
 		return "forward"
 	case PathBackward:
 		return "backward"
+	case PathMarkov:
+		return "markov"
 	default:
 		return "fallback"
 	}
+}
+
+// Paths is the registry of answering paths, in enum order. Exporters
+// (metrics label sets, stats JSON, evaluation summaries) derive their
+// per-path label space from it, so adding a path here grows every surface
+// at once instead of each hand-enumerated list drifting separately.
+func Paths() []Path {
+	return []Path{PathForward, PathBackward, PathFallback, PathMarkov}
 }
 
 // Prediction is one predicted location with its provenance.
@@ -124,6 +145,7 @@ type QueryStats struct {
 	Queries      int // Predict calls answered
 	Forward      int // answered by FQP
 	Backward     int // answered by BQP
+	Markov       int // answered by the region-transition chain
 	Fallback     int // answered by the motion function
 	Unanswered   int // no pattern and no (or failed) fallback
 	NodesVisited int // TPT nodes touched across all searches
@@ -136,6 +158,7 @@ func (s QueryStats) Add(t QueryStats) QueryStats {
 	s.Queries += t.Queries
 	s.Forward += t.Forward
 	s.Backward += t.Backward
+	s.Markov += t.Markov
 	s.Fallback += t.Fallback
 	s.Unanswered += t.Unanswered
 	s.NodesVisited += t.NodesVisited
@@ -143,15 +166,31 @@ func (s QueryStats) Add(t QueryStats) QueryStats {
 	return s
 }
 
+// ByPath returns the answered-query counter for one path — the accessor
+// the registry-driven metric exporters iterate Paths() with.
+func (s QueryStats) ByPath(p Path) int {
+	switch p {
+	case PathForward:
+		return s.Forward
+	case PathBackward:
+		return s.Backward
+	case PathMarkov:
+		return s.Markov
+	default:
+		return s.Fallback
+	}
+}
+
 // queryCounters are the engine's live counters, kept as atomics so Predict,
 // ForwardQuery and BackwardQuery are safe for unlimited concurrent callers
-// without a lock. Queries is not stored: the four outcome counters
+// without a lock. Queries is not stored: the five outcome counters
 // partition answered Predict calls, so Stats derives it as their sum and
-// the identity Queries == Forward+Backward+Fallback+Unanswered holds in
-// every snapshot.
+// the identity Queries == Forward+Backward+Markov+Fallback+Unanswered
+// holds in every snapshot.
 type queryCounters struct {
 	forward      atomic.Int64
 	backward     atomic.Int64
+	markov       atomic.Int64
 	fallback     atomic.Int64
 	unanswered   atomic.Int64
 	nodesVisited atomic.Int64
@@ -185,6 +224,13 @@ type Engine struct {
 	live int
 
 	stats queryCounters
+
+	// markov, when set, answers queries the pattern paths could not: a
+	// variable-order region-transition chain consulted between the
+	// pattern search and the motion fallback. Held through an atomic
+	// pointer so the owner (core.Model) can attach or swap it without
+	// stalling concurrent queries.
+	markov atomic.Pointer[MarkovHook]
 
 	// fitCache memoizes the last fitted fallback motion function, keyed by
 	// the identity of the recent window it was fitted on. Repeated queries
@@ -245,6 +291,32 @@ func NewEngine(enc *pattern.Encoder, patterns []pattern.Pattern, cfg Config, tre
 // Tree exposes the underlying TPT for diagnostics and benchmarks.
 func (e *Engine) Tree() *tpt.Tree { return e.tree }
 
+// MarkovHook answers a query from the region-transition chain: the
+// object's recent movements and the absolute query time in, one
+// prediction out (tagged SourceMarkov/PathMarkov by the implementation),
+// or false when the chain has no sufficiently supported answer. Hooks
+// must be safe for concurrent callers.
+type MarkovHook func(recent []trajectory.TimedPoint, tq int) (Prediction, bool)
+
+// SetMarkov attaches (or, with nil, detaches) the Markov answering path.
+// Safe to call while queries run.
+func (e *Engine) SetMarkov(h MarkovHook) {
+	if h == nil {
+		e.markov.Store(nil)
+		return
+	}
+	e.markov.Store(&h)
+}
+
+// tryMarkov consults the Markov hook, if attached.
+func (e *Engine) tryMarkov(recent []trajectory.TimedPoint, tq int) (Prediction, bool) {
+	hp := e.markov.Load()
+	if hp == nil {
+		return Prediction{}, false
+	}
+	return (*hp)(recent, tq)
+}
+
 // AddPatterns inserts newly mined patterns into the live index using the
 // TPT insertion algorithm (§V-B dynamic data). Patterns whose consequence
 // time offset is absent from the consequence-key table cannot be encoded
@@ -290,12 +362,14 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Stats() QueryStats {
 	f := e.stats.forward.Load()
 	b := e.stats.backward.Load()
+	mk := e.stats.markov.Load()
 	fb := e.stats.fallback.Load()
 	u := e.stats.unanswered.Load()
 	return QueryStats{
-		Queries:      int(f + b + fb + u),
+		Queries:      int(f + b + mk + fb + u),
 		Forward:      int(f),
 		Backward:     int(b),
+		Markov:       int(mk),
 		Fallback:     int(fb),
 		Unanswered:   int(u),
 		NodesVisited: int(e.stats.nodesVisited.Load()),
@@ -308,6 +382,7 @@ func (e *Engine) Stats() QueryStats {
 func (e *Engine) ResetStats() {
 	e.stats.forward.Store(0)
 	e.stats.backward.Store(0)
+	e.stats.markov.Store(0)
 	e.stats.fallback.Store(0)
 	e.stats.unanswered.Store(0)
 	e.stats.nodesVisited.Store(0)
@@ -352,8 +427,9 @@ next:
 }
 
 // Predict answers a query with the full Hybrid Prediction Algorithm:
-// FQP for near queries, BQP for distant ones, motion-function fallback when
-// no pattern qualifies.
+// FQP for near queries, BQP for distant ones, then the Markov region
+// chain (when attached) for queries no pattern answers, and finally the
+// motion-function fallback.
 func (e *Engine) Predict(q Query) ([]Prediction, error) {
 	if len(q.Recent) == 0 {
 		return nil, errors.New("hpa: query has no recent movements")
@@ -384,6 +460,10 @@ func (e *Engine) Predict(q Query) ([]Prediction, error) {
 			e.stats.forward.Add(1)
 		}
 		return preds, nil
+	}
+	if mp, ok := e.tryMarkov(q.Recent, q.Tq); ok {
+		e.stats.markov.Add(1)
+		return []Prediction{mp}, nil
 	}
 	fb, err := e.motionFallback(q)
 	switch {
@@ -445,6 +525,11 @@ func (e *Engine) PredictBatch(recent []trajectory.TimedPoint, tqs []int, k int) 
 				e.stats.forward.Add(1)
 			}
 			out[i] = preds
+			continue
+		}
+		if mp, ok := e.tryMarkov(recent, tq); ok {
+			e.stats.markov.Add(1)
+			out[i] = []Prediction{mp}
 			continue
 		}
 		if e.cfg.NewMotion == nil {
@@ -531,6 +616,8 @@ func (e *Engine) PredictRange(recent []trajectory.TimedPoint, from, to int) ([]P
 		}
 		if len(preds) > 0 {
 			out = append(out, preds[0])
+		} else if mp, ok := e.tryMarkov(recent, tq); ok {
+			out = append(out, mp)
 		} else {
 			out = append(out, fallback(tq))
 		}
@@ -699,6 +786,34 @@ func (e *Engine) FallbackQuery(q Query) ([]Prediction, error) {
 	tc := q.Recent[len(q.Recent)-1].T
 	if q.Tq <= tc {
 		return nil, fmt.Errorf("hpa: query time %d not after current time %d", q.Tq, tc)
+	}
+	fb, err := e.motionFallback(q)
+	if err != nil || len(fb) == 0 {
+		e.stats.unanswered.Add(1)
+	} else {
+		e.stats.fallback.Add(1)
+	}
+	return fb, err
+}
+
+// MarkovQuery answers a query with the Markov region chain alone,
+// bypassing the pattern paths and falling through to the motion function
+// when the chain cannot answer. The online evaluator uses it to
+// shadow-score the chain against the hybrid answer, and the store's
+// adaptive routing uses it when the chain's measured accuracy leads at
+// the query's horizon. Counts as a markov (or fallback/unanswered) query
+// in the stats.
+func (e *Engine) MarkovQuery(q Query) ([]Prediction, error) {
+	if len(q.Recent) == 0 {
+		return nil, errors.New("hpa: query has no recent movements")
+	}
+	tc := q.Recent[len(q.Recent)-1].T
+	if q.Tq <= tc {
+		return nil, fmt.Errorf("hpa: query time %d not after current time %d", q.Tq, tc)
+	}
+	if mp, ok := e.tryMarkov(q.Recent, q.Tq); ok {
+		e.stats.markov.Add(1)
+		return []Prediction{mp}, nil
 	}
 	fb, err := e.motionFallback(q)
 	if err != nil || len(fb) == 0 {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+
+	"hpm"
 )
 
 // GET /metrics renders the store's operational counters in the Prometheus
@@ -84,11 +86,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "hpm_shed_total{endpoint=%q,reason=%q} %d\n", sm.endpoint, sm.reason, sm.n)
 	}
 
+	// The path label set comes from the hpa.Path registry — every answering
+	// path plus the synthetic "unanswered" outcome — so a newly added path
+	// appears here without this exporter changing.
 	fmt.Fprintf(&b, "# HELP hpm_queries_total Predictive queries answered, by answering path.\n")
 	fmt.Fprintf(&b, "# TYPE hpm_queries_total counter\n")
-	fmt.Fprintf(&b, "hpm_queries_total{path=\"forward\"} %d\n", fs.Queries.Forward)
-	fmt.Fprintf(&b, "hpm_queries_total{path=\"backward\"} %d\n", fs.Queries.Backward)
-	fmt.Fprintf(&b, "hpm_queries_total{path=\"fallback\"} %d\n", fs.Queries.Fallback)
+	for _, p := range hpm.Paths() {
+		fmt.Fprintf(&b, "hpm_queries_total{path=%q} %d\n", p.String(), fs.Queries.ByPath(p))
+	}
 	fmt.Fprintf(&b, "hpm_queries_total{path=\"unanswered\"} %d\n", fs.Queries.Unanswered)
 	counter("hpm_query_nodes_visited_total", "Trajectory-pattern-tree nodes touched by queries.", fs.Queries.NodesVisited)
 
@@ -98,17 +103,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("hpm_eval_expired_total", "Parked predictions whose timestamp passed unobserved.", fs.Eval.Expired)
 	counter("hpm_eval_evicted_total", "Parked predictions dropped to ring pressure.", fs.Eval.Evicted)
 
-	fmt.Fprintf(&b, "# HELP hpm_eval_attempts_total Scored predictions by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# HELP hpm_eval_attempts_total Scored predictions by horizon bucket and requested route (declines charged to the route, not the path that answered).\n")
 	fmt.Fprintf(&b, "# TYPE hpm_eval_attempts_total counter\n")
 	for _, c := range fs.Eval.Cells {
 		fmt.Fprintf(&b, "hpm_eval_attempts_total{horizon_le=%q,path=%q} %d\n", c.HorizonLE, c.Path, c.Attempts)
 	}
-	fmt.Fprintf(&b, "# HELP hpm_eval_hits_total Scored predictions within the hit distance, by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# HELP hpm_eval_hits_total Scored predictions within the hit distance, by horizon bucket and requested route.\n")
 	fmt.Fprintf(&b, "# TYPE hpm_eval_hits_total counter\n")
 	for _, c := range fs.Eval.Cells {
 		fmt.Fprintf(&b, "hpm_eval_hits_total{horizon_le=%q,path=%q} %d\n", c.HorizonLE, c.Path, c.Hits)
 	}
-	fmt.Fprintf(&b, "# HELP hpm_eval_error_distance_sum Total error distance of scored predictions, by horizon bucket and answering path.\n")
+	fmt.Fprintf(&b, "# HELP hpm_eval_error_distance_sum Total error distance of scored predictions, by horizon bucket and requested route.\n")
 	fmt.Fprintf(&b, "# TYPE hpm_eval_error_distance_sum counter\n")
 	for _, c := range fs.Eval.Cells {
 		fmt.Fprintf(&b, "hpm_eval_error_distance_sum{horizon_le=%q,path=%q} %g\n", c.HorizonLE, c.Path, c.ErrorSum)

@@ -248,7 +248,9 @@ func toJSON(p hpm.Prediction) predictionJSON {
 		Score:      p.Score,
 		Confidence: p.Confidence,
 	}
-	if p.Source == hpm.SourcePattern {
+	// Pattern and markov answers are region centers, so the region extent
+	// is their natural uncertainty bound; motion answers have none.
+	if p.Source == hpm.SourcePattern || p.Source == hpm.SourceMarkov {
 		out.Region = &regionJSON{
 			MinX: p.Extent.Min.X, MinY: p.Extent.Min.Y,
 			MaxX: p.Extent.Max.X, MaxY: p.Extent.Max.Y,

@@ -128,11 +128,11 @@ func TestObserveAndPredictEndToEnd(t *testing.T) {
 		t.Fatal("no predictions")
 	}
 	first := preds[0].(map[string]any)
-	if first["source"] != "pattern" && first["source"] != "motion" {
+	if first["source"] != "pattern" && first["source"] != "motion" && first["source"] != "markov" {
 		t.Errorf("source = %v", first["source"])
 	}
-	if first["source"] == "pattern" && first["region"] == nil {
-		t.Error("pattern prediction missing region extent")
+	if (first["source"] == "pattern" || first["source"] == "markov") && first["region"] == nil {
+		t.Errorf("%v prediction missing region extent", first["source"])
 	}
 
 	// Predict by absolute tq.

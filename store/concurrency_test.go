@@ -115,7 +115,7 @@ func TestPredictObserveHammer(t *testing.T) {
 	if st.Queries.Queries != want {
 		t.Errorf("accumulated queries = %d, want %d (stats: %+v)", st.Queries.Queries, want, st.Queries)
 	}
-	sum := st.Queries.Forward + st.Queries.Backward + st.Queries.Fallback + st.Queries.Unanswered
+	sum := st.Queries.Forward + st.Queries.Backward + st.Queries.Markov + st.Queries.Fallback + st.Queries.Unanswered
 	if st.Queries.Queries != sum {
 		t.Errorf("partition identity violated: %+v", st.Queries)
 	}

@@ -259,7 +259,16 @@ func (s *Store) applyReplay(rec walRecord, preTombstone bool) error {
 	if rec.offset+len(rec.pts) <= have {
 		return nil // fully covered by the snapshot (or an earlier record)
 	}
-	obj.track = append(obj.track, rec.pts[have-rec.offset:]...)
+	fresh := rec.pts[have-rec.offset:]
+	obj.track = append(obj.track, fresh...)
+	// Fold the replayed points into the Markov chain exactly as the live
+	// observe did — replay must reproduce the crashed process's chain
+	// bit-for-bit on top of the snapshot's blob.
+	if obj.predictor != nil {
+		for j, p := range fresh {
+			obj.predictor.MarkovObserve(have+j, p)
+		}
+	}
 	// Replayed records exist only in WAL segments the next checkpoint
 	// reclaims; their shard must be re-encoded by it.
 	s.markDirty(rec.id)

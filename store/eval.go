@@ -16,28 +16,36 @@ import (
 // (Options.AdaptiveRouting), and surface through EvalStats, FleetStats
 // and serve's /metrics endpoint.
 
-// evalPath maps a prediction's answering path to the evaluator's label
-// space. The enums are defined independently (hpa must not import evalq,
-// nor vice versa), so the mapping is explicit.
-func evalPath(p hpm.Path) evalq.Path {
-	switch p {
-	case hpm.PathBackward:
-		return evalq.PathBackward
-	case hpm.PathFallback:
-		return evalq.PathFallback
-	default:
-		return evalq.PathForward
-	}
-}
-
-// recordPrediction parks a query's top answer in the object's evaluator.
-// Called with obj.mu at least read-locked; the tracker has its own lock,
-// so concurrent queries record without write-locking the object.
-func (s *Store) recordPrediction(obj *object, now, tq int, preds []hpm.Prediction, err error) {
+// recordPrediction parks a query's top answer in the object's evaluator,
+// labeled with the ROUTE that served it — the path the query was sent
+// down — not the path that ultimately produced the answer. The two
+// differ when a route declines and falls through (the markov chain
+// falling back to the motion function, the pattern dispatch falling
+// through to the chain): the fall-through answer is part of what that
+// route delivers, so it must score against the route's cell. Labeling by
+// answering path instead would condition each cell on "the path chose to
+// answer" — a sunny-day population that systematically overstates a
+// selective path, and routing built on it sends traffic to a path whose
+// declines it has never been charged for. (The engine's own per-path
+// query counters still count answering paths; that is the traffic view,
+// this is the routing view.) Called with obj.mu at least read-locked;
+// the tracker has its own lock, so concurrent queries record without
+// write-locking the object.
+func (s *Store) recordPrediction(obj *object, now, tq int, route evalq.Path, preds []hpm.Prediction, err error) {
 	if err != nil || len(preds) == 0 || obj.eval == nil {
 		return
 	}
-	obj.eval.Record(now, tq, evalPath(preds[0].Path), preds[0].Location)
+	obj.eval.Record(now, tq, route, preds[0].Location)
+}
+
+// patternPath is the pattern route label for a query: the paper's hybrid
+// dispatch answers near queries with FQP and distant ones with BQP.
+// Called with obj.mu at least read-locked and obj.predictor non-nil.
+func (s *Store) patternPath(obj *object, now, tq int) evalq.Path {
+	if obj.predictor.IsDistant(now, tq) {
+		return evalq.PathBackward
+	}
+	return evalq.PathForward
 }
 
 // scoreLocked scores the just-appended observations against the object's
@@ -92,19 +100,21 @@ func (s *Store) scoreLocked(obj *object, base int, pts []hpm.Point) {
 	_ = s.startTrain(obj, completed)
 }
 
-// routeToFallback reports whether adaptive routing should answer this
-// query with the motion fallback: the pattern path the hybrid dispatch
-// would pick has measured behind the fallback at this horizon. Called
-// with obj.mu at least read-locked and obj.predictor non-nil.
-func (s *Store) routeToFallback(obj *object, now, tq int) bool {
+// routePath picks this query's answering path: the pattern path the
+// hybrid dispatch would use (FQP or BQP by horizon), unless adaptive
+// routing has measured another path — the Markov chain or the motion
+// fallback — strictly ahead at the query's horizon with enough samples.
+// Called with obj.mu at least read-locked and obj.predictor non-nil.
+func (s *Store) routePath(obj *object, now, tq int) evalq.Path {
+	pat := s.patternPath(obj, now, tq)
 	if !s.opts.AdaptiveRouting || obj.eval == nil || tq <= now {
-		return false
+		return pat
 	}
-	pat := evalq.PathForward
-	if obj.predictor.IsDistant(now, tq) {
-		pat = evalq.PathBackward
+	min := uint64(s.opts.AdaptiveMinSamples)
+	if obj.predictor.Model().MarkovEnabled() {
+		return obj.eval.BestPath(tq-now, []evalq.Path{pat, evalq.PathMarkov, evalq.PathFallback}, min)
 	}
-	return obj.eval.PreferFallback(tq-now, pat, uint64(s.opts.AdaptiveMinSamples))
+	return obj.eval.BestPath(tq-now, []evalq.Path{pat, evalq.PathFallback}, min)
 }
 
 // PredictFallback answers a query with the motion-function fallback
@@ -126,7 +136,53 @@ func (s *Store) PredictFallback(id string, tq int) ([]hpm.Prediction, error) {
 	}
 	now := obj.base + len(obj.track) - 1
 	preds, err := obj.predictor.PredictFallback(recent, tq)
-	s.recordPrediction(obj, now, tq, preds, err)
+	s.recordPrediction(obj, now, tq, evalq.PathFallback, preds, err)
+	return preds, err
+}
+
+// PredictPattern answers a query through the hybrid pattern dispatch
+// alone (FQP or BQP by horizon, with its built-in markov/motion
+// fall-through), ignoring adaptive routing. Shadow-scoring it keeps the
+// pattern columns of the accuracy matrix filling even when routing has
+// moved the real traffic to another path — without it, a path that loses
+// once could never be measured winning again.
+func (s *Store) PredictPattern(id string, tq, k int) ([]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	now := obj.base + len(obj.track) - 1
+	preds, err := obj.predictor.Predict(recent, tq, k)
+	s.recordPrediction(obj, now, tq, s.patternPath(obj, now, tq), preds, err)
+	return preds, err
+}
+
+// PredictMarkov answers a query from the object's Markov region-
+// transition chain alone (motion fallback when the chain declines),
+// bypassing the pattern paths. Like PredictFallback, its answers are
+// parked and scored, so shadow calls fill the markov column of the
+// accuracy matrix — the measurements adaptive routing decides by — even
+// while other paths answer the real traffic.
+func (s *Store) PredictMarkov(id string, tq int) ([]hpm.Prediction, error) {
+	obj, err := s.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	obj.mu.RLock()
+	defer obj.mu.RUnlock()
+	recent, err := s.recentLocked(obj)
+	if err != nil {
+		return nil, err
+	}
+	now := obj.base + len(obj.track) - 1
+	preds, err := obj.predictor.PredictMarkov(recent, tq)
+	s.recordPrediction(obj, now, tq, evalq.PathMarkov, preds, err)
 	return preds, err
 }
 

@@ -189,9 +189,9 @@ func TestAdaptiveRoutingPrefersMeasuredWinner(t *testing.T) {
 	now, _ := s.Now("bike")
 	tq := now + 2 // near horizon: the forward path would answer
 	obj.mu.RLock()
-	routed := s.routeToFallback(obj, now, tq)
+	routed := s.routePath(obj, now, tq)
 	obj.mu.RUnlock()
-	if routed {
+	if routed == evalq.PathFallback {
 		t.Fatal("routed to fallback with no measurements")
 	}
 
@@ -205,9 +205,9 @@ func TestAdaptiveRoutingPrefersMeasuredWinner(t *testing.T) {
 		obj.eval.Observe(base+1, []hpm.Point{hpm.Pt(0, 0), hpm.Pt(0, 0)})
 	}
 	obj.mu.RLock()
-	routed = s.routeToFallback(obj, now, tq)
+	routed = s.routePath(obj, now, tq)
 	obj.mu.RUnlock()
-	if !routed {
+	if routed != evalq.PathFallback {
 		t.Fatal("measured losing forward path not routed to fallback")
 	}
 	preds, err := s.Predict("bike", tq, 1)

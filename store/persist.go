@@ -21,8 +21,11 @@ const (
 	snapshotMagic = "HPMS"
 	// snapshotVersion 2 added the per-object track base — the absolute
 	// timestamp of track[0], nonzero once the retention policy trims
-	// history. Version-1 snapshots load with base 0.
-	snapshotVersion = 2
+	// history. Version-1 snapshots load with base 0. Version 3 is taken by
+	// the sharded-manifest marker (manifestVersion); version 4 appends a
+	// length-prefixed Markov chain blob after each trained object's model.
+	// Version-1/2 records load with the chain re-folded from the track.
+	snapshotVersion = 4
 )
 
 // Save writes a snapshot of the whole store in the single-file (v2)
@@ -75,6 +78,7 @@ type objectSnapshot struct {
 	sinceRetrain int
 	track        []hpm.Point
 	model        []byte // serialized predictor; nil when untrained
+	chain        []byte // serialized Markov chain; nil when disabled
 }
 
 // snapshotObject captures one object's persisted state under its read
@@ -97,6 +101,7 @@ func snapshotObject(id string, obj *object) (objectSnapshot, error) {
 			return snap, fmt.Errorf("store: snapshot model for %q: %w", id, err)
 		}
 		snap.model = buf.Bytes()
+		snap.chain = obj.predictor.Model().EncodeMarkov()
 	}
 	return snap, nil
 }
@@ -124,8 +129,13 @@ func (snap objectSnapshot) write(bw *bufio.Writer) error {
 	}
 	// The model stream is self-delimiting (its own magic and trailer), so
 	// it nests directly.
-	_, err := bw.Write(snap.model)
-	return err
+	if _, err := bw.Write(snap.model); err != nil {
+		return err
+	}
+	// v4: the Markov chain rides behind the model, length-prefixed; an
+	// empty blob means the markov path was disabled at capture time.
+	writeBytes(bw, snap.chain)
+	return nil
 }
 
 // Load reads a snapshot written by Save and returns a ready store.
@@ -154,7 +164,7 @@ func loadStream(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("store: not a snapshot (magic %q)", head[:len(snapshotMagic)])
 	}
 	version := int(head[len(snapshotMagic)])
-	if version < 1 || version > snapshotVersion {
+	if version < 1 || version > snapshotVersion || version == manifestVersion {
 		return nil, fmt.Errorf("store: unsupported snapshot version %d", version)
 	}
 	oj, err := readBytes(br, 1<<20)
@@ -245,6 +255,18 @@ func readObject(br *bufio.Reader, s *Store, version int) error {
 			return fmt.Errorf("store: load model for %q: %w", idb, err)
 		}
 		obj.predictor = p
+		var chain []byte
+		if version >= 4 {
+			if chain, err = readBytes(br, 1<<30); err != nil {
+				return fmt.Errorf("store: read markov chain for %q: %w", idb, err)
+			}
+		}
+		if len(chain) == 0 || p.Model().LoadMarkov(chain) != nil {
+			// Pre-v4 record, markov disabled at capture, or the chain
+			// configuration changed since: re-fold the retained track (a
+			// no-op when the path is disabled now).
+			p.Model().RebuildMarkov(obj.base, obj.track)
+		}
 	}
 	// Populate the shard directly: replay and load run before the store
 	// is shared, but take the shard lock anyway to keep the invariant.

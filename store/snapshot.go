@@ -24,12 +24,14 @@ import (
 //	manifest := "HPMS" 0x03 options-json uvarint(epoch)
 //	            uvarint(nsegments) nsegments×segment-entry  crc32c
 //	entry    := uvarint(shard) uvarint(objects) name uvarint(size) uint32(crc)
-//	segment  := "HPMG" 0x01 uvarint(shard) uvarint(count)
+//	segment  := "HPMG" 0x02 uvarint(shard) uvarint(count)
 //	            count×object-record  crc32c
 //
 // (options-json and name are uvarint-length-prefixed; object records are
-// the same encoding v2 streams use; every file carries a whole-file
-// CRC32-C trailer like SaveFile.)
+// the same encoding inline streams use — segment v2 records carry the
+// v4 Markov-chain blob, v1 records the pre-markov v2 layout, and v1
+// segments still load with the chain re-folded from each track; every
+// file carries a whole-file CRC32-C trailer like SaveFile.)
 //
 // Segment files are written to their final, epoch-stamped names and are
 // invisible until a manifest referencing them is renamed into place — the
@@ -45,7 +47,10 @@ const (
 	manifestVersion = 3
 
 	segmentMagic   = "HPMG"
-	segmentVersion = 1
+	// segmentVersion 2 appends the Markov chain blob to each trained
+	// object's record (the snapshot-v4 record layout); v1 segments hold
+	// v2-layout records and upgrade cleanly at load.
+	segmentVersion = 2
 	// segmentFormat names a segment file by shard and epoch; the glob
 	// pattern matches all of them for the orphan sweep at Open.
 	segmentFormat  = "seg-%05d-%010d.hpms"
@@ -330,7 +335,16 @@ func (s *Store) loadSegment(dir string, sg snapSegment) error {
 	if string(head[:len(segmentMagic)]) != segmentMagic {
 		return fmt.Errorf("store: segment %s: not a segment (magic %q)", sg.name, head[:len(segmentMagic)])
 	}
-	if v := int(head[len(segmentMagic)]); v != segmentVersion {
+	// Map the segment version to the object-record layout it carries: v1
+	// segments predate the Markov chain (v2-layout records), v2 segments
+	// hold v4-layout records with the chain blob.
+	streamVersion := 0
+	switch v := int(head[len(segmentMagic)]); v {
+	case 1:
+		streamVersion = 2
+	case segmentVersion:
+		streamVersion = snapshotVersion
+	default:
 		return fmt.Errorf("store: segment %s: unsupported version %d", sg.name, v)
 	}
 	shardIdx, err := binary.ReadUvarint(br)
@@ -348,8 +362,7 @@ func (s *Store) loadSegment(dir string, sg snapSegment) error {
 		return fmt.Errorf("store: segment %s: holds %d objects, manifest says %d", sg.name, count, sg.objects)
 	}
 	for i := uint64(0); i < count; i++ {
-		// Segment records carry the track base, like v2 stream records.
-		if err := readObject(br, s, snapshotVersion); err != nil {
+		if err := readObject(br, s, streamVersion); err != nil {
 			return fmt.Errorf("store: segment %s: %w", sg.name, err)
 		}
 	}

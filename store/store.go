@@ -608,6 +608,15 @@ func (s *Store) observeLocked(ctx context.Context, obj *object, id string, locs 
 	obj.track = append(obj.track, locs...)
 	s.markDirty(id)
 	s.snapGate.RUnlock()
+	// Fold the acknowledged points into the Markov chain before the model-
+	// update policy runs: a retrain or region-minting extend rebuilds the
+	// chain from the track anyway, so the incremental fold stays the cheap
+	// common case.
+	if obj.predictor != nil {
+		for i, p := range locs {
+			obj.predictor.MarkovObserve(base+i, p)
+		}
+	}
 	if obj.eval != nil {
 		s.scoreLocked(obj, base, locs)
 	}
@@ -737,6 +746,11 @@ acquire:
 	for i := range groups {
 		g := &groups[i]
 		g.obj.mu.Lock()
+		if g.obj.predictor != nil {
+			for j, p := range g.pts {
+				g.obj.predictor.MarkovObserve(bases[i]+j, p)
+			}
+		}
 		if g.obj.eval != nil {
 			s.scoreLocked(g.obj, bases[i], g.pts)
 		}
@@ -840,6 +854,13 @@ func (s *Store) extendLocked(obj *object, completed, newPeriods int) error {
 	// observe in this call path (recovery catch-up, post-train catch-up):
 	// the shard's segment must be rewritten at the next checkpoint.
 	s.markDirty(obj.id)
+	// A minted region re-partitions space, so visits folded into the chain
+	// under the old region set are stale: re-fold the retained track. When
+	// no region was minted the incremental folds are already exact and the
+	// extend stays O(new data).
+	if res.NewRegions > 0 {
+		obj.predictor.Model().RebuildMarkov(obj.base, obj.track)
+	}
 	return nil
 }
 
@@ -896,6 +917,10 @@ func (s *Store) train(obj *object, completed int) error {
 	obj.swapPredictor(p, completed)
 	s.trimLocked(obj)
 	s.markDirty(obj.id)
+	// The fresh model folded its chain from the training prefix in its own
+	// time basis; re-fold from the retained track so chain timestamps match
+	// the absolute clock every later MarkovObserve uses.
+	obj.predictor.Model().RebuildMarkov(obj.base, obj.track)
 	return nil
 }
 
@@ -997,6 +1022,8 @@ func (s *Store) runTrain(obj *object, pts []hpm.Point, completed int) {
 		obj.swapPredictor(p, completed)
 		s.trimLocked(obj)
 		s.markDirty(obj.id)
+		// Re-fold the chain in the store's absolute time basis (see train).
+		obj.predictor.Model().RebuildMarkov(obj.base, obj.track)
 		// Catch up: extend (or re-schedule a retrain) over periods that
 		// completed while this train was running.
 		if uerr := s.maybeUpdate(obj); uerr != nil {
@@ -1124,13 +1151,20 @@ func (s *Store) PredictContext(ctx context.Context, id string, tq, k int) ([]hpm
 		return nil, err
 	}
 	now := obj.base + len(obj.track) - 1
-	if s.routeToFallback(obj, now, tq) {
-		preds, err := obj.predictor.PredictFallback(recent, tq)
-		s.recordPrediction(obj, now, tq, preds, err)
-		return preds, err
+	var preds []hpm.Prediction
+	route := s.routePath(obj, now, tq)
+	switch route {
+	case evalq.PathFallback:
+		preds, err = obj.predictor.PredictFallback(recent, tq)
+	case evalq.PathMarkov:
+		preds, err = obj.predictor.PredictMarkov(recent, tq)
+	default:
+		preds, err = obj.predictor.Predict(recent, tq, k)
 	}
-	preds, err := obj.predictor.Predict(recent, tq, k)
-	s.recordPrediction(obj, now, tq, preds, err)
+	// Scored under the route that served it (fall-throughs included), so
+	// the routing measurements keep charging the chosen route for what it
+	// actually delivered.
+	s.recordPrediction(obj, now, tq, route, preds, err)
 	return preds, err
 }
 
@@ -1186,7 +1220,7 @@ func (s *Store) PredictBatchContext(ctx context.Context, id string, tqs []int, k
 	if err == nil && obj.eval != nil {
 		now := obj.base + len(obj.track) - 1
 		for i, preds := range out {
-			s.recordPrediction(obj, now, tqs[i], preds, nil)
+			s.recordPrediction(obj, now, tqs[i], s.patternPath(obj, now, tqs[i]), preds, nil)
 		}
 	}
 	return out, err
